@@ -1,0 +1,102 @@
+"""Figure 4: training speed vs number of negatives, batched vs unbatched.
+
+The paper's claim (Section 4.3, Figure 4): with *unbatched* sampling,
+training speed is inversely proportional to the number of negatives per
+edge; with *batched* negatives (one candidate pool per ~50-edge chunk,
+scored by a single matmul), speed is nearly constant up to Bn ≈ 100.
+
+We measure edges/sec over one fixed bucket of edges at d = 100 (the
+figure's dimension) for Bn ∈ {10, 20, 50, 100, 200} in both modes.
+The assertions encode the shape: batched throughput at Bn=100 stays
+within a small factor of Bn=10, while unbatched throughput collapses
+roughly linearly.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import social_config, train_single
+from benchmarks.conftest import report_table
+from repro.datasets import social_network
+
+_BNS = [10, 20, 50, 100, 200]
+_RESULTS: "dict[tuple[bool, int], float]" = {}
+_DIM = 100
+
+
+def _graph():
+    return social_network(3000, 30_000, seed=0)
+
+
+def _speed(batched: bool, bn: int) -> float:
+    g = _graph()
+    half = bn // 2
+    config = social_config(
+        dimension=_DIM,
+        num_epochs=1,
+        comparator="dot",
+        num_batch_negs=half if batched else half,
+        num_uniform_negs=bn - half,
+        disable_batch_negs=not batched,
+        chunk_size=50,
+        batch_size=1000,
+    )
+    t0 = time.perf_counter()
+    _, stats = train_single(config, {"node": g.num_nodes}, g.edges)
+    del t0
+    return stats.edges_per_second
+
+
+def _record_all():
+    if len(_RESULTS) < 2 * len(_BNS):
+        return
+    rows = []
+    for bn in _BNS:
+        rows.append(
+            [str(bn),
+             f"{_RESULTS[(True, bn)]:.0f}",
+             f"{_RESULTS[(False, bn)]:.0f}"]
+        )
+    report_table(
+        f"Figure 4 — training speed vs negatives (d={_DIM}, edges/sec)",
+        ["negatives/edge", "batched", "unbatched"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="fig4-batched")
+@pytest.mark.parametrize("bn", _BNS)
+def test_batched_negatives_speed(once, bn):
+    speed = once(_speed, True, bn)
+    _RESULTS[(True, bn)] = speed
+    _record_all()
+    assert speed > 0
+
+
+@pytest.mark.benchmark(group="fig4-unbatched")
+@pytest.mark.parametrize("bn", _BNS)
+def test_unbatched_negatives_speed(once, bn):
+    speed = once(_speed, False, bn)
+    _RESULTS[(False, bn)] = speed
+    _record_all()
+    assert speed > 0
+
+
+def test_fig4_shape():
+    """The headline claims, asserted once both sweeps have run."""
+    for bn in _BNS:
+        if (True, bn) not in _RESULTS:
+            _RESULTS[(True, bn)] = _speed(True, bn)
+        if (False, bn) not in _RESULTS:
+            _RESULTS[(False, bn)] = _speed(False, bn)
+    _record_all()
+    batched_drop = _RESULTS[(True, 10)] / _RESULTS[(True, 100)]
+    unbatched_drop = _RESULTS[(False, 10)] / _RESULTS[(False, 100)]
+    # Batched: near-constant (paper: "nearly constant for Bn <= 100").
+    assert batched_drop < 3.0, f"batched speed dropped {batched_drop:.1f}x"
+    # Unbatched: speed degrades much faster with Bn than batched.
+    assert unbatched_drop > 1.5 * batched_drop, (
+        f"unbatched {unbatched_drop:.1f}x vs batched {batched_drop:.1f}x"
+    )

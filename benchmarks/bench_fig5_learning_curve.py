@@ -1,0 +1,151 @@
+"""Figure 5: LiveJournal learning curves — MRR vs wallclock time.
+
+The paper plots test MRR after each epoch against training time for
+PBG, DeepWalk and MILE variants; PBG reaches its plateau in a fraction
+of DeepWalk's time (DeepWalk needs >20h per epoch on the real dataset).
+
+We record per-epoch (time, MRR) points for each method on the same
+graph and assert the headline: PBG reaches the strongest baseline's
+final MRR in less wallclock time than that baseline spent.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    eval_ranking,
+    livejournal_splits,
+    social_config,
+    train_single,
+)
+from benchmarks.conftest import report_figure, report_table
+from repro.baselines import MILE, DeepWalk, embeddings_to_model
+from repro.eval.learning_curve import LearningCurve
+
+_CURVES: "dict[str, LearningCurve]" = {}
+_NUM_CANDIDATES = 200
+
+
+def _eval_embeddings(embeddings, test):
+    model = embeddings_to_model(embeddings, "cos")
+    return eval_ranking(
+        model, test, num_candidates=_NUM_CANDIDATES, max_eval=1000
+    )
+
+
+def _report_if_done():
+    if len(_CURVES) < 3:
+        return
+    rows = []
+    for name, curve in _CURVES.items():
+        for p in curve.points:
+            rows.append(
+                [name, str(p.epoch), f"{p.wallclock:.1f}",
+                 f"{p.mrr:.3f}", f"{p.hits_at_10:.3f}"]
+            )
+    report_table(
+        "Figure 5 — LiveJournal-like learning curves (MRR vs time)",
+        ["method", "epoch", "time (s)", "MRR", "Hits@10"],
+        rows,
+    )
+    report_figure(
+        "Figure 5 (rendered) — MRR vs training seconds",
+        {
+            name: [(p.wallclock, p.mrr) for p in curve.points]
+            for name, curve in _CURVES.items()
+        },
+        x_label="seconds",
+        y_label="MRR",
+    )
+
+
+@pytest.mark.benchmark(group="fig5-curves")
+def test_pbg_curve(once):
+    g, train, test = livejournal_splits()
+    config = social_config(dimension=128, num_epochs=8)
+    curve = LearningCurve(label="PBG")
+
+    def run():
+        from repro.core.model import EmbeddingModel
+        from repro.core.trainer import Trainer
+        from repro.graph.entity_storage import EntityStorage
+
+        entities = EntityStorage({"node": g.num_nodes})
+        model = EmbeddingModel(config, entities, np.random.default_rng(0))
+        trainer = Trainer(config, model, entities)
+        curve.restart_clock()
+        cb = curve.make_callback(
+            model, test, num_candidates=_NUM_CANDIDATES,
+            max_eval_edges=1000,
+        )
+        trainer.train(train, after_epoch=cb)
+        return model
+
+    once(run)
+    _CURVES["PBG"] = curve
+    _report_if_done()
+    assert curve.best_mrr() > 0.05
+
+
+@pytest.mark.benchmark(group="fig5-curves")
+def test_deepwalk_curve(once):
+    g, train, test = livejournal_splits()
+    curve = LearningCurve(label="DeepWalk")
+
+    def run():
+        dw = DeepWalk(
+            train, g.num_nodes, dimension=128,
+            walks_per_node=2, walk_length=20, window=3,
+            batch_size=50_000, seed=0,
+        )
+        curve.restart_clock()
+
+        def cb(epoch, loss, elapsed):
+            t0 = time.perf_counter()
+            m = _eval_embeddings(dw.embeddings, test)
+            curve._eval_overhead += time.perf_counter() - t0
+            curve.record(epoch, m.mrr, m.hits_at[10])
+
+        dw.train(3, after_epoch=cb)
+        return dw
+
+    once(run)
+    _CURVES["DeepWalk"] = curve
+    _report_if_done()
+    assert curve.best_mrr() > 0.02
+
+
+@pytest.mark.benchmark(group="fig5-curves")
+def test_mile_curve(once):
+    """MILE produces one point: its full pipeline then a final eval."""
+    g, train, test = livejournal_splits()
+    curve = LearningCurve(label="MILE")
+
+    def run():
+        mile = MILE(
+            train, g.num_nodes, num_levels=2, dimension=128,
+            base_epochs=5, seed=0,
+            deepwalk_kwargs=dict(walks_per_node=2, walk_length=20, window=3),
+        )
+        curve.restart_clock()
+        mile.train()
+        m = _eval_embeddings(mile.embeddings, test)
+        curve.record(0, m.mrr, m.hits_at[10])
+        return mile
+
+    once(run)
+    _CURVES["MILE"] = curve
+    _report_if_done()
+    assert curve.best_mrr() > 0.02
+
+
+def test_fig5_shape():
+    """PBG reaches DeepWalk's final quality faster than DeepWalk did."""
+    if len(_CURVES) < 3:
+        pytest.skip("curve benches did not run (collected individually)")
+    dw_final = _CURVES["DeepWalk"].points[-1]
+    pbg_time = _CURVES["PBG"].time_to_mrr(dw_final.mrr)
+    assert pbg_time is not None, "PBG never reached DeepWalk's MRR"
+    assert pbg_time < dw_final.wallclock

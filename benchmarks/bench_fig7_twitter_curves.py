@@ -1,0 +1,93 @@
+"""Figure 7: Twitter learning curves per machine count.
+
+Same protocol as Figure 6 but on the social graph. The paper's
+observation: compared to Freebase, Twitter shows *more linear* scaling
+of training time with machines (one giant relation, no small-relation
+contention on the shared-parameter path), with per-epoch curves again
+machine-count independent.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    build_entities,
+    eval_ranking,
+    social_config,
+    twitter_splits,
+)
+from benchmarks.conftest import report_figure, report_table
+from repro.config import EntitySchema
+from repro.distributed.cluster import DistributedTrainer
+
+_MACHINES = [1, 2, 4, 8]
+_EPOCHS = 4
+_CURVES: "dict[int, list[tuple[int, float, float]]]" = {}
+
+
+def _cfg(machines):
+    nparts = max(2, 2 * machines)
+    return social_config(
+        entities={"node": EntitySchema(num_partitions=nparts)},
+        dimension=64, num_epochs=_EPOCHS, num_machines=machines,
+        comparator="cos",
+    )
+
+
+def _report_if_done():
+    if len(_CURVES) < len(_MACHINES):
+        return
+    rows = []
+    for machines in _MACHINES:
+        for epoch, t, mrr in _CURVES[machines]:
+            rows.append([str(machines), str(epoch), f"{t:.1f}", f"{mrr:.3f}"])
+    report_table(
+        "Figure 7 — Twitter-like learning curves by machine count",
+        ["machines", "epoch", "time (s)", "MRR"],
+        rows,
+    )
+    report_figure(
+        "Figure 7 (rendered) — Twitter-like MRR vs time by machines",
+        {
+            f"{m} machine(s)": [(t, mrr) for _, t, mrr in _CURVES[m]]
+            for m in _MACHINES
+        },
+        x_label="seconds",
+        y_label="MRR",
+    )
+
+
+@pytest.mark.benchmark(group="fig7-curves")
+@pytest.mark.parametrize("machines", _MACHINES)
+def test_twitter_curve(once, machines):
+    g, train, valid, test = twitter_splits()
+    config = _cfg(machines)
+    entities = build_entities(config, {"node": g.num_nodes}, seed=0)
+    points: "list[tuple[int, float, float]]" = []
+
+    def run():
+        trainer = DistributedTrainer(config, entities, mode="process")
+
+        def cb(epoch, model):
+            cumulative = sum(trainer.current_stats.epoch_times)
+            m = eval_ranking(
+                model, test, train_edges=train, num_candidates=500,
+                sampling="prevalence", max_eval=1000,
+            )
+            points.append((epoch, cumulative, m.mrr))
+
+        return trainer.train(train, after_epoch=cb)
+
+    once(run)
+    _CURVES[machines] = points
+    _report_if_done()
+    assert points[-1][2] >= points[0][2] * 0.8
+
+
+def test_fig7_shape():
+    """Final MRR is machine-count independent (paper: no loss up to 8)."""
+    if len(_CURVES) < len(_MACHINES):
+        pytest.skip("curve benches did not run")
+    finals = {m: pts[-1][2] for m, pts in _CURVES.items()}
+    base = finals[1]
+    for m, mrr in finals.items():
+        assert mrr > 0.7 * base, f"{m} machines degraded MRR to {mrr}"

@@ -1,0 +1,115 @@
+"""Table 1 (left): LiveJournal link prediction — PBG vs DeepWalk vs MILE.
+
+Paper numbers (4.8M-node LiveJournal):
+
+    DeepWalk        MRR 0.691   Hits@10 0.842   61.2 GB
+    MILE (1 level)  MRR 0.629   Hits@10 0.785   60.9 GB
+    MILE (5 levels) MRR 0.505   Hits@10 0.632   22.8 GB
+    PBG (1 part)    MRR 0.749   Hits@10 0.857   20.9 GB
+
+Expected shape at our scale: PBG's MRR at or above DeepWalk's, MILE
+degrading as levels deepen, and PBG's parameter memory roughly a third
+of DeepWalk's (one embedding matrix + scalar Adagrad state vs two
+matrices + state).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    eval_ranking,
+    livejournal_splits,
+    mb,
+    social_config,
+    train_single,
+)
+from benchmarks.conftest import report_table
+from repro.baselines import MILE, DeepWalk, embeddings_to_model
+from repro.stats.memory import MemoryModel
+
+_ROWS: "list[list[str]]" = []
+_NUM_CANDIDATES = 200
+_DIM = 128
+
+
+def _evaluate(model, test, seed=0):
+    return eval_ranking(
+        model, test, num_candidates=_NUM_CANDIDATES, max_eval=2000,
+        seed=seed,
+    )
+
+
+def _record(name, metrics, mem_bytes):
+    _ROWS.append(
+        [name, f"{metrics.mrr:.3f}", f"{metrics.mr:.1f}",
+         f"{metrics.hits_at[10]:.3f}", mb(mem_bytes)]
+    )
+    if len(_ROWS) == 4:
+        report_table(
+            "Table 1 (left) — LiveJournal link prediction "
+            f"(synthetic, {livejournal_splits()[0].num_nodes} nodes, "
+            f"{_NUM_CANDIDATES} sampled candidates)",
+            ["method", "MRR", "MR", "Hits@10", "param MB"],
+            _ROWS,
+        )
+
+
+@pytest.mark.benchmark(group="table1-livejournal")
+def test_pbg_livejournal(once):
+    g, train, test = livejournal_splits()
+    config = social_config(dimension=_DIM, num_epochs=20)
+
+    model, _ = once(
+        train_single, config, {"node": g.num_nodes}, train
+    )
+    metrics = _evaluate(model, test)
+    from benchmarks.common import build_entities
+
+    memory = MemoryModel(
+        config, build_entities(config, {"node": g.num_nodes})
+    ).total_model_bytes()
+    _record("PBG (1 partition)", metrics, memory)
+    assert metrics.mrr > 0.05
+
+
+@pytest.mark.benchmark(group="table1-livejournal")
+def test_deepwalk_livejournal(once):
+    g, train, test = livejournal_splits()
+
+    def run():
+        dw = DeepWalk(
+            train, g.num_nodes, dimension=_DIM,
+            walks_per_node=2, walk_length=20, window=4,
+            lr=0.1, batch_size=50_000, seed=0,
+        )
+        dw.train(3)
+        return dw
+
+    dw = once(run)
+    metrics = _evaluate(embeddings_to_model(dw.embeddings, "cos"), test)
+    _record("DeepWalk", metrics, dw.memory_bytes())
+    assert metrics.mrr > 0.02
+
+
+@pytest.mark.benchmark(group="table1-livejournal")
+@pytest.mark.parametrize("levels", [1, 5])
+def test_mile_livejournal(once, levels):
+    g, train, test = livejournal_splits()
+
+    def run():
+        mile = MILE(
+            train, g.num_nodes, num_levels=levels, dimension=_DIM,
+            base_epochs=4, seed=0,
+            deepwalk_kwargs=dict(
+                walks_per_node=2, walk_length=20, window=3,
+                batch_size=50_000,
+            ),
+        )
+        mile.train()
+        return mile
+
+    mile = once(run)
+    metrics = _evaluate(embeddings_to_model(mile.embeddings, "cos"), test)
+    _record(f"MILE ({levels} level{'s' if levels > 1 else ''})",
+            metrics, mile.memory_bytes())
+    assert metrics.mrr > 0.01

@@ -1,0 +1,80 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark registers its result rows with :func:`report_table`;
+a ``pytest_terminal_summary`` hook prints all registered tables after
+the run (terminal-summary output is not captured by pytest, so the
+paper-style tables are always visible, including under
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_TABLES: "list[tuple[str, list[str], list[list[str]]]]" = []
+_FIGURES: "list[tuple[str, str]]" = []
+
+
+def report_table(title: str, header: "list[str]", rows: "list[list]") -> None:
+    """Register a result table for the end-of-run summary."""
+    _TABLES.append((title, header, [[str(c) for c in r] for r in rows]))
+
+
+def report_figure(
+    title: str,
+    series: "dict[str, list[tuple[float, float]]]",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> None:
+    """Register an ASCII-rendered figure for the end-of-run summary."""
+    from repro.eval.ascii_plot import ascii_plot
+
+    _FIGURES.append(
+        (title, ascii_plot(series, x_label=x_label, y_label=y_label))
+    )
+
+
+def _format_table(header: "list[str]", rows: "list[list[str]]") -> "list[str]":
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in rows)
+    return lines
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    del exitstatus, config
+    if not _TABLES and not _FIGURES:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "paper reproduction results")
+    for title, header, rows in _TABLES:
+        tr.write_line("")
+        tr.write_line(title)
+        for line in _format_table(header, rows):
+            tr.write_line(line)
+    for title, rendered in _FIGURES:
+        tr.write_line("")
+        tr.write_line(title)
+        for line in rendered.splitlines():
+            tr.write_line(line)
+    tr.write_line("")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Training experiments are far too slow for multi-round statistics;
+    one timed round per configuration matches how the paper reports
+    wallclock training time.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

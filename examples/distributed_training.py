@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Distributed training across simulated machines (paper Figure 2).
+
+Spawns a cluster of worker processes coordinated by a lock server,
+sharded partition servers and an asynchronous parameter server, then
+compares wallclock time and quality across machine counts — a
+miniature of the paper's Table 3 (right) / Table 4 (right).
+
+Run:  python examples/distributed_training.py
+"""
+
+import numpy as np
+
+from repro import ConfigSchema, EntitySchema, RelationSchema
+from repro.datasets import split_with_coverage, twitter_like
+from repro.distributed.cluster import DistributedTrainer
+from repro.eval.ranking import LinkPredictionEvaluator
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import partition_entities
+
+
+def run(num_machines: int, graph, train, test) -> None:
+    nparts = max(2, 2 * num_machines)  # lock server needs P >= 2M
+    config = ConfigSchema(
+        entities={"user": EntitySchema(num_partitions=nparts)},
+        relations=[
+            RelationSchema(name="follow", lhs="user", rhs="user")
+        ],
+        dimension=64,
+        comparator="cos",
+        num_epochs=4,
+        num_machines=num_machines,
+        parameter_sync_interval=10,
+    )
+    entities = EntityStorage({"user": graph.num_nodes})
+    entities.set_partitioning(
+        "user",
+        partition_entities(
+            graph.num_nodes, nparts, np.random.default_rng(0)
+        ),
+    )
+    trainer = DistributedTrainer(config, entities, mode="process")
+    model, stats = trainer.train(train)
+    metrics = LinkPredictionEvaluator(model).evaluate(
+        test[:1500], num_candidates=1000,
+        candidate_sampling="prevalence", train_edges=train,
+        rng=np.random.default_rng(1),
+    )
+    print(
+        f"M={num_machines}: P={nparts:2d}  MRR {metrics.mrr:.3f}  "
+        f"time {stats.total_time:5.1f}s  "
+        f"peak/machine {stats.peak_machine_bytes / 1e6:5.1f} MB  "
+        f"idle {stats.mean_idle_fraction:.0%}"
+    )
+
+
+def main() -> None:
+    graph = twitter_like(num_nodes=8000, seed=0)
+    rng = np.random.default_rng(0)
+    train, _, test = split_with_coverage(
+        graph.edges, [0.9, 0.05, 0.05], rng
+    )
+    print(
+        f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges — "
+        "sweeping machine counts (each machine is an OS process)\n"
+    )
+    for machines in (1, 2, 4):
+        run(machines, graph, train, test)
+    print(
+        "\nWallclock drops with machines at flat MRR; per-machine memory "
+        "shrinks as the partition-server shards spread out — the "
+        "paper's Table 4 (right) trend."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Knowledge-graph embedding: multi-relation models on an FB15k-like graph.
+
+Trains TransE-style and ComplEx-style PBG configurations on a synthetic
+knowledge graph (typed schema, symmetric and asymmetric relations) and
+compares raw vs filtered ranking metrics — the Section 5.4.1 workflow.
+
+Run:  python examples/knowledge_graph_embedding.py
+"""
+
+import numpy as np
+
+from repro import ConfigSchema, EntitySchema, RelationSchema
+from repro.core.model import EmbeddingModel
+from repro.core.trainer import Trainer
+from repro.datasets import fb15k_like, split_with_coverage
+from repro.eval.ranking import LinkPredictionEvaluator
+from repro.graph.entity_storage import EntityStorage
+
+
+def make_config(kg, operator: str, loss: str, comparator: str) -> ConfigSchema:
+    return ConfigSchema(
+        entities={"entity": EntitySchema()},
+        relations=[
+            RelationSchema(
+                name=f"rel_{i}", lhs="entity", rhs="entity", operator=operator
+            )
+            for i in range(kg.num_relations)
+        ],
+        dimension=64,
+        comparator=comparator,
+        loss=loss,
+        margin=0.1,
+        lr=0.05 if loss == "softmax" else 0.1,
+        num_epochs=10,
+    )
+
+
+def train_and_evaluate(name, kg, config, train, valid, test):
+    entities = EntityStorage({"entity": kg.num_entities})
+    model = EmbeddingModel(config, entities)
+    trainer = Trainer(config, model, entities)
+    stats = trainer.train(train)
+
+    evaluator = LinkPredictionEvaluator(
+        model, filter_edges=[train, valid, test]
+    )
+    sample = test[:1000]
+    raw = evaluator.evaluate(sample, num_candidates=None)
+    filtered = evaluator.evaluate(sample, num_candidates=None, filtered=True)
+    print(
+        f"{name:16s} {stats.total_time:5.1f}s  "
+        f"raw MRR {raw.mrr:.3f}  filtered MRR {filtered.mrr:.3f}  "
+        f"filtered Hits@10 {filtered.hits_at[10]:.3f}"
+    )
+
+
+def main() -> None:
+    kg = fb15k_like(num_entities=2000, num_relations=60, num_edges=40_000)
+    rng = np.random.default_rng(0)
+    train, valid, test = split_with_coverage(
+        kg.edges, [0.8, 0.1, 0.1], rng
+    )
+    print(
+        f"knowledge graph: {kg.num_entities} entities, "
+        f"{kg.num_relations} relations, {kg.num_edges} edges "
+        f"({int(kg.symmetric_relations.sum())} symmetric relations)"
+    )
+    print("ranking against ALL entities, both corruption sides\n")
+
+    configs = {
+        "TransE": make_config(kg, "translation", "ranking", "cos"),
+        "DistMult": make_config(kg, "diagonal", "ranking", "dot"),
+        "ComplEx": make_config(kg, "complex_diagonal", "softmax", "dot"),
+    }
+    for name, config in configs.items():
+        train_and_evaluate(name, kg, config, train, valid, test)
+
+    print(
+        "\nNote: multiplicative operators (DistMult/ComplEx) can model "
+        "the symmetric relations that translations cannot — the gap "
+        "mirrors the paper's Table 2 ordering."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Node classification with embeddings as features (YouTube protocol).
+
+Trains PBG embeddings on a YouTube-like social graph, then predicts
+planted user categories with one-vs-rest logistic regression under
+10-fold cross-validation — Section 5.3's downstream-task evaluation —
+and compares against DeepWalk features.
+
+Run:  python examples/node_classification.py
+"""
+
+import numpy as np
+
+from repro import ConfigSchema, EntitySchema, RelationSchema
+from repro.baselines import DeepWalk
+from repro.core.model import EmbeddingModel
+from repro.core.trainer import Trainer
+from repro.datasets import community_labels, split_with_coverage, youtube_like
+from repro.eval.classification import multilabel_cross_validation
+from repro.graph.entity_storage import EntityStorage
+
+
+def main() -> None:
+    graph = youtube_like(num_nodes=3000, seed=0)
+    labels = community_labels(
+        graph.communities, num_labels=12, labelled_fraction=0.4,
+        extra_label_rate=0.15, noise=0.05, seed=0,
+    )
+    train_edges, _ = split_with_coverage(
+        graph.edges, [0.75, 0.25], np.random.default_rng(0)
+    )
+    labelled = int(labels.any(axis=1).sum())
+    print(
+        f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+        f"{labelled} labelled nodes over {labels.shape[1]} categories\n"
+    )
+
+    # PBG embeddings.
+    config = ConfigSchema(
+        entities={"user": EntitySchema()},
+        relations=[RelationSchema(name="contact", lhs="user", rhs="user")],
+        dimension=64, comparator="cos", num_epochs=15, lr=0.1,
+    )
+    entities = EntityStorage({"user": graph.num_nodes})
+    model = EmbeddingModel(config, entities)
+    Trainer(config, model, entities).train(train_edges)
+    pbg_features = model.global_embeddings("user")
+
+    # DeepWalk features on the same graph.
+    dw = DeepWalk(
+        train_edges, graph.num_nodes, dimension=64,
+        walks_per_node=4, walk_length=20, window=4, lr=0.1,
+        batch_size=50_000, seed=0,
+    )
+    dw.train(5)
+
+    for name, features in [("PBG", pbg_features), ("DeepWalk", dw.embeddings)]:
+        result = multilabel_cross_validation(
+            features, labels, num_folds=10, rng=np.random.default_rng(0)
+        )
+        print(f"{name:9s} {result}")
+
+    print(
+        "\nBoth embeddings encode the community structure; the paper's "
+        "Table 1 (right) reports the same protocol on real YouTube "
+        "labels with PBG slightly ahead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Partitioned training: embed a graph that "doesn't fit" in memory.
+
+Demonstrates PBG's block decomposition (paper Section 4.1): entities
+are split into P partitions, edges into P x P buckets, and training
+holds only two partitions in RAM at a time, swapping the rest to disk.
+We train the same graph with P = 1 and P = 8 and compare quality, peak
+memory and swap I/O — a miniature of the paper's Table 3 (left).
+
+Run:  python examples/partitioned_training.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import ConfigSchema, EntitySchema, RelationSchema
+from repro.core.model import EmbeddingModel
+from repro.core.tables import DenseEmbeddingTable
+from repro.core.trainer import Trainer
+from repro.datasets import freebase_like, split_with_coverage
+from repro.eval.ranking import LinkPredictionEvaluator
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import partition_entities
+from repro.graph.storage import PartitionedEmbeddingStorage
+from repro.stats.memory import MemoryModel
+
+
+def run(nparts: int, kg, train, test) -> None:
+    config = ConfigSchema(
+        entities={"entity": EntitySchema(num_partitions=nparts)},
+        relations=[
+            RelationSchema(
+                name=f"rel_{i}", lhs="entity", rhs="entity",
+                operator="translation",
+            )
+            for i in range(kg.num_relations)
+        ],
+        dimension=64,
+        num_epochs=5,
+        bucket_order="inside_out",
+    )
+    entities = EntityStorage({"entity": kg.num_entities})
+    entities.set_partitioning(
+        "entity",
+        partition_entities(kg.num_entities, nparts, np.random.default_rng(0)),
+    )
+    model = EmbeddingModel(config, entities)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        storage = PartitionedEmbeddingStorage(tmp) if nparts > 1 else None
+        trainer = Trainer(config, model, entities, storage)
+        stats = trainer.train(train)
+
+        # Reload swapped-out partitions for evaluation.
+        if storage is not None:
+            for p in range(nparts):
+                if not model.has_table("entity", p):
+                    emb, state = storage.load("entity", p)
+                    model.set_table(
+                        "entity", p, DenseEmbeddingTable(emb, state)
+                    )
+
+        metrics = LinkPredictionEvaluator(model).evaluate(
+            test[:1500], num_candidates=1000,
+            candidate_sampling="prevalence", train_edges=train,
+            rng=np.random.default_rng(1),
+        )
+    memory = MemoryModel(config, entities)
+    swaps = sum(e.swaps for e in stats.epochs)
+    print(
+        f"P={nparts:2d}: MRR {metrics.mrr:.3f}  Hits@10 "
+        f"{metrics.hits_at[10]:.3f}  time {stats.total_time:5.1f}s  "
+        f"peak {stats.peak_resident_bytes / 1e6:6.1f} MB "
+        f"(model predicts {memory.single_machine_peak_bytes() / 1e6:6.1f}) "
+        f" swaps {swaps}"
+    )
+
+
+def main() -> None:
+    kg = freebase_like(
+        num_entities=10_000, num_relations=20, num_edges=100_000
+    )
+    rng = np.random.default_rng(0)
+    train, _, test = split_with_coverage(kg.edges, [0.9, 0.05, 0.05], rng)
+    print(
+        f"graph: {kg.num_entities} entities, {kg.num_edges} edges — "
+        "sweeping partition counts\n"
+    )
+    for nparts in (1, 4, 8):
+        run(nparts, kg, train, test)
+    print(
+        "\nPartitioning cuts peak memory ~linearly at nearly unchanged "
+        "MRR, at the cost of swap I/O — the paper's Table 3 (left) trend."
+    )
+
+
+if __name__ == "__main__":
+    main()

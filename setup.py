@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(offline boxes), where ``pip install -e .`` falls back to
+``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

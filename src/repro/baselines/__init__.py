@@ -1,0 +1,27 @@
+"""Baseline embedding systems the paper compares against.
+
+- :mod:`~repro.baselines.deepwalk` — DeepWalk (Perozzi et al., 2014):
+  truncated random walks + skip-gram with negative sampling, written in
+  vectorised NumPy.
+- :mod:`~repro.baselines.mile` — MILE (Liang et al., 2018): repeated
+  heavy-edge-matching coarsening, base embedding of the coarsest graph,
+  and level-by-level refinement.
+
+Both produce plain ``(n, d)`` embedding matrices; use
+:func:`~repro.baselines.adapter.embeddings_to_model` to evaluate them
+with the same link-prediction harness as PBG.
+"""
+
+from repro.baselines.deepwalk import DeepWalk, build_adjacency, random_walks
+from repro.baselines.mile import MILE, heavy_edge_matching, coarsen_graph
+from repro.baselines.adapter import embeddings_to_model
+
+__all__ = [
+    "DeepWalk",
+    "build_adjacency",
+    "random_walks",
+    "MILE",
+    "heavy_edge_matching",
+    "coarsen_graph",
+    "embeddings_to_model",
+]

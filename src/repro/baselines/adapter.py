@@ -1,0 +1,51 @@
+"""Adapter: evaluate raw embedding matrices with the PBG harness.
+
+DeepWalk and MILE produce plain ``(n, d)`` matrices. Wrapping them in a
+single-relation identity/dot :class:`~repro.core.model.EmbeddingModel`
+lets :class:`~repro.eval.ranking.LinkPredictionEvaluator` rank them
+under exactly the same protocol as PBG models — the comparison the
+paper's Table 1 and Figure 5 make.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ConfigSchema, EntitySchema, RelationSchema
+from repro.core.model import EmbeddingModel
+from repro.core.optimizers import RowAdagrad
+from repro.core.tables import DenseEmbeddingTable
+from repro.graph.entity_storage import EntityStorage
+
+__all__ = ["embeddings_to_model"]
+
+
+def embeddings_to_model(
+    embeddings: np.ndarray,
+    comparator: str = "dot",
+    relation_names: "tuple[str, ...]" = ("link",),
+) -> EmbeddingModel:
+    """Wrap a raw embedding matrix in an evaluable model.
+
+    The model has one entity type (``"node"``) with identity operators,
+    so scores are plain (dot / cosine) similarities between rows.
+    """
+    embeddings = np.asarray(embeddings)
+    if embeddings.ndim != 2:
+        raise ValueError(f"embeddings must be (n, d), got {embeddings.shape}")
+    n, d = embeddings.shape
+    config = ConfigSchema(
+        entities={"node": EntitySchema()},
+        relations=[
+            RelationSchema(name=name, lhs="node", rhs="node")
+            for name in relation_names
+        ],
+        dimension=d,
+        comparator=comparator,
+    )
+    entities = EntityStorage({"node": n})
+    model = EmbeddingModel(config, entities, dtype=embeddings.dtype)
+    table = DenseEmbeddingTable(embeddings)
+    table.optimizer = RowAdagrad(n)
+    model.set_table("node", 0, table)
+    return model

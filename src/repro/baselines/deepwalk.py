@@ -1,0 +1,251 @@
+"""DeepWalk: truncated random walks + skip-gram with negative sampling.
+
+Perozzi et al. (2014). The paper uses DeepWalk both directly (Table 1,
+Figure 5) and as MILE's base embedding method. This implementation is
+vectorised NumPy throughout:
+
+- walks advance all starting nodes one step at a time with a single
+  fancy-indexed neighbour lookup per step;
+- skip-gram (center, context) pairs are extracted with array shifts;
+- SGNS updates use the same row-Adagrad as the PBG core, with
+  unigram^0.75 negative sampling as in word2vec.
+
+Walk generation per epoch (rather than a one-off corpus) mirrors the
+original implementation's multiple walk passes and gives a natural
+epoch axis for learning curves.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.optimizers import RowAdagrad
+from repro.core.tables import init_embeddings
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["DeepWalk", "build_adjacency", "random_walks"]
+
+
+def build_adjacency(
+    edges: EdgeList, num_nodes: int, undirected: bool = True
+) -> sp.csr_matrix:
+    """CSR adjacency with unit weights (symmetrised by default).
+
+    DeepWalk treats the graph as undirected; duplicate edges collapse
+    to weight >= 1 which slightly biases walks toward repeated edges,
+    matching the original implementation's multigraph behaviour.
+    """
+    src, dst = edges.src, edges.dst
+    if undirected:
+        src = np.concatenate([src, edges.dst])
+        dst = np.concatenate([dst, edges.src])
+    adj = sp.csr_matrix(
+        (np.ones(len(src), dtype=np.float32), (src, dst)),
+        shape=(num_nodes, num_nodes),
+    )
+    adj.sum_duplicates()
+    return adj
+
+
+def random_walks(
+    adj: sp.csr_matrix,
+    walk_length: int,
+    starts: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Uniform random walks from ``starts``; shape (len(starts), L+1).
+
+    Walks stepping into a dead-end node stay there (-1 padding would
+    complicate the pair extraction; self-absorption at sinks produces
+    harmless repeated pairs at a tiny rate).
+    """
+    n = adj.shape[0]
+    degrees = np.diff(adj.indptr)
+    walks = np.empty((len(starts), walk_length + 1), dtype=np.int64)
+    walks[:, 0] = starts
+    current = starts.copy()
+    for step in range(1, walk_length + 1):
+        deg = degrees[current]
+        alive = deg > 0
+        offsets = (rng.random(len(current)) * deg).astype(np.int64)
+        next_nodes = current.copy()
+        rows = current[alive]
+        next_nodes[alive] = adj.indices[adj.indptr[rows] + offsets[alive]]
+        walks[:, step] = next_nodes
+        current = next_nodes
+    del n
+    return walks
+
+
+def _skipgram_pairs(
+    walks: np.ndarray, window: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract (center, context) pairs within ``window`` via shifts."""
+    centers, contexts = [], []
+    length = walks.shape[1]
+    for offset in range(1, window + 1):
+        if offset >= length:
+            break
+        centers.append(walks[:, :-offset].ravel())
+        contexts.append(walks[:, offset:].ravel())
+        # Symmetric direction.
+        centers.append(walks[:, offset:].ravel())
+        contexts.append(walks[:, :-offset].ravel())
+    c = np.concatenate(centers)
+    x = np.concatenate(contexts)
+    keep = c != x  # drop self-pairs created by sink absorption
+    c, x = c[keep], x[keep]
+    perm = rng.permutation(len(c))
+    return c[perm], x[perm]
+
+
+class DeepWalk:
+    """DeepWalk trainer.
+
+    Parameters
+    ----------
+    edges, num_nodes:
+        The graph (treated as undirected).
+    dimension:
+        Embedding size.
+    walks_per_node, walk_length, window:
+        Corpus parameters (defaults follow Perozzi et al.: 80-step
+        walks, window 5 — walks_per_node applies per epoch).
+    num_negatives:
+        SGNS negatives per pair.
+    lr:
+        Adagrad learning rate.
+    """
+
+    def __init__(
+        self,
+        edges: EdgeList,
+        num_nodes: int,
+        dimension: int = 128,
+        walks_per_node: int = 4,
+        walk_length: int = 40,
+        window: int = 5,
+        num_negatives: int = 5,
+        lr: float = 0.05,
+        batch_size: int = 10_000,
+        seed: int = 0,
+    ) -> None:
+        self.adj = build_adjacency(edges, num_nodes)
+        self.num_nodes = num_nodes
+        self.dimension = dimension
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.num_negatives = num_negatives
+        self.lr = lr
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+
+        self.embeddings = init_embeddings(num_nodes, dimension, self.rng)
+        self.context_embeddings = np.zeros(
+            (num_nodes, dimension), dtype=np.float32
+        )
+        self._emb_opt = RowAdagrad(num_nodes)
+        self._ctx_opt = RowAdagrad(num_nodes)
+
+        # Unigram^0.75 negative distribution over node degrees.
+        degrees = np.asarray(self.adj.sum(axis=1)).ravel() + 1.0
+        w = degrees**0.75
+        self._neg_cdf = np.cumsum(w) / w.sum()
+
+    # ------------------------------------------------------------------
+
+    def _sample_negatives(self, size) -> np.ndarray:
+        u = self.rng.random(size)
+        idx = np.searchsorted(self._neg_cdf, u).astype(np.int64)
+        # Guard the u ≈ 1.0 edge where float CDFs can overflow the range.
+        return np.minimum(idx, self.num_nodes - 1)
+
+    def train_epoch(self) -> float:
+        """One pass: fresh walks from every node, SGNS over all pairs.
+
+        Returns the mean SGNS loss per pair.
+        """
+        starts = np.tile(
+            np.arange(self.num_nodes, dtype=np.int64), self.walks_per_node
+        )
+        self.rng.shuffle(starts)
+        walks = random_walks(self.adj, self.walk_length, starts, self.rng)
+        centers, contexts = _skipgram_pairs(walks, self.window, self.rng)
+
+        total_loss, total_pairs = 0.0, 0
+        for lo in range(0, len(centers), self.batch_size):
+            c = centers[lo : lo + self.batch_size]
+            x = contexts[lo : lo + self.batch_size]
+            total_loss += self._sgns_step(c, x)
+            total_pairs += len(c)
+        return total_loss / max(total_pairs, 1)
+
+    def _sgns_step(self, centers: np.ndarray, contexts: np.ndarray) -> float:
+        """One SGNS minibatch: positives + k negatives per pair."""
+        b = len(centers)
+        k = self.num_negatives
+        negs = self._sample_negatives((b, k))
+
+        w = self.embeddings[centers]  # (b, d)
+        cpos = self.context_embeddings[contexts]  # (b, d)
+        cneg = self.context_embeddings[negs.ravel()].reshape(b, k, -1)
+
+        pos_score = np.einsum("bd,bd->b", w, cpos)
+        neg_score = np.einsum("bd,bkd->bk", w, cneg)
+
+        # loss = -log σ(pos) - Σ log σ(-neg)
+        loss = float(
+            np.logaddexp(0.0, -pos_score).sum()
+            + np.logaddexp(0.0, neg_score).sum()
+        )
+        g_pos = -_sigmoid(-pos_score)  # dL/dpos_score
+        g_neg = _sigmoid(neg_score)  # dL/dneg_score
+
+        grad_w = g_pos[:, None] * cpos + np.einsum("bk,bkd->bd", g_neg, cneg)
+        grad_cpos = g_pos[:, None] * w
+        grad_cneg = g_neg[:, :, None] * w[:, None, :]
+
+        self._emb_opt.step(self.embeddings, centers, grad_w, self.lr)
+        rows = np.concatenate([contexts, negs.ravel()])
+        grads = np.concatenate(
+            [grad_cpos, grad_cneg.reshape(b * k, -1)]
+        )
+        self._ctx_opt.step(self.context_embeddings, rows, grads, self.lr)
+        return loss
+
+    def train(
+        self,
+        num_epochs: int,
+        after_epoch: Callable[[int, float, float], None] | None = None,
+    ) -> "list[float]":
+        """Train; returns per-epoch mean losses.
+
+        ``after_epoch(epoch, mean_loss, elapsed_seconds)`` supports
+        learning-curve recording.
+        """
+        losses = []
+        start = time.perf_counter()
+        for epoch in range(num_epochs):
+            loss = self.train_epoch()
+            losses.append(loss)
+            if after_epoch is not None:
+                after_epoch(epoch, loss, time.perf_counter() - start)
+        return losses
+
+    def memory_bytes(self) -> int:
+        """Parameter + optimizer memory (both embedding matrices)."""
+        return (
+            self.embeddings.nbytes
+            + self.context_embeddings.nbytes
+            + self._emb_opt.nbytes()
+            + self._ctx_opt.nbytes()
+        )
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.tanh(0.5 * x))

@@ -1,0 +1,205 @@
+"""Command-line interface: train and evaluate from config + edge files.
+
+Mirrors the workflow of the original PBG release, which is driven by a
+config file and imported edge lists::
+
+    python -m repro train  --config config.json --edges edges.npz \
+                           --checkpoint ./model
+    python -m repro eval   --checkpoint ./model --edges test.npz \
+                           --candidates 1000
+    python -m repro export --checkpoint ./model --entity-type node \
+                           --output embeddings.npy
+
+Edge files are ``.npz`` archives with ``src``, ``rel``, ``dst`` int64
+arrays (and optional ``weights``), or whitespace-separated text files
+with ``src rel dst`` columns. Entity counts are inferred from the edges
+unless the config's metadata provides them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import ConfigSchema
+from repro.core.checkpointing import load_model, save_model
+from repro.core.model import EmbeddingModel
+from repro.core.trainer import Trainer
+from repro.eval.ranking import LinkPredictionEvaluator
+from repro.graph.edgelist import EdgeList
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import partition_entities
+
+__all__ = ["main", "load_edges"]
+
+
+def load_edges(path: "str | Path") -> EdgeList:
+    """Read an edge list from ``.npz`` or whitespace text."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no edge file at {path}")
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            weights = data["weights"] if "weights" in data.files else None
+            return EdgeList(data["src"], data["rel"], data["dst"], weights)
+    rows = np.loadtxt(path, dtype=np.int64, ndmin=2)
+    if rows.shape[1] != 3:
+        raise ValueError(
+            f"text edge files need 3 columns (src rel dst); got "
+            f"{rows.shape[1]} in {path}"
+        )
+    return EdgeList(rows[:, 0], rows[:, 1], rows[:, 2])
+
+
+def save_edges(path: "str | Path", edges: EdgeList) -> None:
+    """Write an edge list as ``.npz`` (the CLI's native format)."""
+    arrays = {"src": edges.src, "rel": edges.rel, "dst": edges.dst}
+    if edges.weights is not None:
+        arrays["weights"] = edges.weights
+    np.savez(path, **arrays)
+
+
+def _infer_counts(config: ConfigSchema, edges: EdgeList) -> "dict[str, int]":
+    """Entity counts = 1 + max id seen per entity type."""
+    counts = {name: 1 for name in config.entities}
+    for rid in np.unique(edges.rel) if len(edges) else []:
+        rel = config.relations[int(rid)]
+        mask = edges.rel == rid
+        counts[rel.lhs] = max(counts[rel.lhs], int(edges.src[mask].max()) + 1)
+        counts[rel.rhs] = max(counts[rel.rhs], int(edges.dst[mask].max()) + 1)
+    return counts
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    config = ConfigSchema.from_json(Path(args.config).read_text())
+    if args.checkpoint is not None:
+        config = config.replace(checkpoint_dir=str(args.checkpoint))
+    edges = load_edges(args.edges)
+    counts = (
+        json.loads(args.entity_counts)
+        if args.entity_counts
+        else _infer_counts(config, edges)
+    )
+    entities = EntityStorage(counts)
+    rng = np.random.default_rng(config.seed)
+    for name, schema in config.entities.items():
+        if schema.num_partitions > 1:
+            entities.set_partitioning(
+                name,
+                partition_entities(counts[name], schema.num_partitions, rng),
+            )
+    model = EmbeddingModel(config, entities)
+    storage = None
+    if any(s.num_partitions > 1 for s in config.entities.values()):
+        from repro.graph.storage import PartitionedEmbeddingStorage
+
+        if args.checkpoint is None:
+            print("error: partitioned training requires --checkpoint",
+                  file=sys.stderr)
+            return 2
+        storage = PartitionedEmbeddingStorage(
+            Path(args.checkpoint) / "swap"
+        )
+    trainer = Trainer(config, model, entities, storage)
+
+    def progress(epoch: int, stats) -> None:
+        e = stats.epochs[-1]
+        print(
+            f"epoch {epoch}: loss {e.mean_loss:.4f} "
+            f"({e.num_edges} edges, {e.train_time:.1f}s train, "
+            f"{e.io_time:.1f}s io)"
+        )
+
+    stats = trainer.train(edges, after_epoch=progress)
+    print(
+        f"done: {stats.total_edges} edge-visits in {stats.total_time:.1f}s "
+        f"({stats.edges_per_second:,.0f} edges/s), peak "
+        f"{stats.peak_resident_bytes / 1e6:.1f} MB"
+    )
+    if args.checkpoint is not None and storage is None:
+        save_model(args.checkpoint, model, entities,
+                   metadata={"epoch": config.num_epochs - 1})
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    config, entities, model, metadata = load_model(args.checkpoint)
+    del config, entities
+    edges = load_edges(args.edges)
+    filter_edges = (
+        [load_edges(p) for p in args.filter] if args.filter else None
+    )
+    evaluator = LinkPredictionEvaluator(model, filter_edges=filter_edges)
+    metrics = evaluator.evaluate(
+        edges,
+        num_candidates=args.candidates,
+        filtered=bool(args.filter),
+        rng=np.random.default_rng(args.seed),
+    )
+    print(f"checkpoint epoch: {metadata.get('epoch', '?')}")
+    print(metrics)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    _, _, model, _ = load_model(args.checkpoint)
+    embeddings = model.global_embeddings(args.entity_type)
+    np.save(args.output, embeddings)
+    print(
+        f"wrote {embeddings.shape[0]} x {embeddings.shape[1]} embeddings "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PBG reproduction: train / evaluate graph embeddings",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train a model from a config")
+    p_train.add_argument("--config", required=True,
+                         help="path to a ConfigSchema JSON file")
+    p_train.add_argument("--edges", required=True,
+                         help="training edges (.npz or text)")
+    p_train.add_argument("--checkpoint", default=None,
+                         help="directory for checkpoints / partition swap")
+    p_train.add_argument("--entity-counts", default=None,
+                         help='JSON dict of entity counts, e.g. '
+                              '\'{"node": 10000}\' (default: inferred)')
+    p_train.set_defaults(fn=_cmd_train)
+
+    p_eval = sub.add_parser("eval", help="rank held-out edges")
+    p_eval.add_argument("--checkpoint", required=True)
+    p_eval.add_argument("--edges", required=True)
+    p_eval.add_argument("--candidates", type=int, default=None,
+                        help="sampled candidates per query "
+                             "(default: all entities)")
+    p_eval.add_argument("--filter", nargs="*", default=None,
+                        help="edge files whose edges are filtered from "
+                             "candidate sets")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.set_defaults(fn=_cmd_eval)
+
+    p_export = sub.add_parser("export", help="dump embeddings to .npy")
+    p_export.add_argument("--checkpoint", required=True)
+    p_export.add_argument("--entity-type", required=True)
+    p_export.add_argument("--output", required=True)
+    p_export.set_defaults(fn=_cmd_export)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

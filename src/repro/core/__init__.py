@@ -1,0 +1,38 @@
+"""PBG core: the embedding model and its training machinery.
+
+- :mod:`~repro.core.operators` — per-relation transforms ``g(x, θr)``
+  (identity, translation, diagonal, linear, complex_diagonal) with
+  closed-form gradients; together with the comparators these span the
+  RESCAL / TransE / DistMult / ComplEx model family from the paper.
+- :mod:`~repro.core.comparators` — similarity functions ``sim(a, b)``
+  (dot, cos, negative squared L2).
+- :mod:`~repro.core.losses` — margin ranking, logistic and softmax
+  losses over (positive, negatives) score sets.
+- :mod:`~repro.core.optimizers` — row-wise Adagrad (one accumulator
+  float per embedding row — the paper's memory trick) and dense Adagrad.
+- :mod:`~repro.core.negatives` — batched negative sampling (Section 4.3).
+- :mod:`~repro.core.model` — parameter containers + forward/backward.
+- :mod:`~repro.core.batching` — minibatch construction grouped by relation.
+- :mod:`~repro.core.trainer` — the single-machine partitioned trainer.
+"""
+
+from repro.core.operators import make_operator, OPERATORS
+from repro.core.comparators import make_comparator, COMPARATORS
+from repro.core.losses import make_loss, LOSSES
+from repro.core.optimizers import RowAdagrad, DenseAdagrad
+from repro.core.model import EmbeddingModel
+from repro.core.trainer import Trainer, TrainingStats
+
+__all__ = [
+    "make_operator",
+    "make_comparator",
+    "make_loss",
+    "OPERATORS",
+    "COMPARATORS",
+    "LOSSES",
+    "RowAdagrad",
+    "DenseAdagrad",
+    "EmbeddingModel",
+    "Trainer",
+    "TrainingStats",
+]

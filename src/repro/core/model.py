@@ -1,0 +1,505 @@
+"""The multi-relation embedding model: parameters + forward/backward.
+
+An :class:`EmbeddingModel` owns
+
+- one :class:`~repro.core.tables.EmbeddingTable` per *(entity type,
+  partition)* currently resident in memory (the trainer swaps these
+  against :class:`~repro.graph.storage.PartitionedEmbeddingStorage`),
+- per-relation operator parameters with their dense-Adagrad state (the
+  "shared parameters" of distributed training),
+- a comparator and a loss.
+
+Its centrepiece is :meth:`EmbeddingModel.forward_backward_chunk`: score
+one chunk of same-relation edges against batched negative pools on both
+sides, evaluate the loss, and backpropagate in closed form through
+comparator → operator → embedding rows, applying Adagrad updates in
+place. This is the computation of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ConfigSchema
+from repro.core.comparators import make_comparator
+from repro.core.losses import make_loss
+from repro.core.negatives import sample_pool, sample_unbatched
+from repro.core.operators import make_operator
+from repro.core.optimizers import DenseAdagrad
+from repro.core.tables import (
+    DenseEmbeddingTable,
+    EmbeddingTable,
+    FeaturizedEmbeddingTable,
+    init_embeddings,
+)
+from repro.graph.entity_storage import EntityStorage
+
+__all__ = ["EmbeddingModel", "ChunkStats"]
+
+
+@dataclass
+class ChunkStats:
+    """Statistics from one forward/backward chunk."""
+
+    loss: float = 0.0
+    num_edges: int = 0
+    num_negatives: int = 0
+    violations: int = 0
+
+    def merge(self, other: "ChunkStats") -> None:
+        self.loss += other.loss
+        self.num_edges += other.num_edges
+        self.num_negatives += other.num_negatives
+        self.violations += other.violations
+
+    @property
+    def mean_loss(self) -> float:
+        return self.loss / max(self.num_edges, 1)
+
+
+@dataclass
+class _Backprop:
+    """Accumulated row gradients per (table, rows) during backward."""
+
+    rows: "list[np.ndarray]" = field(default_factory=list)
+    grads: "list[np.ndarray]" = field(default_factory=list)
+
+    def add(self, rows: np.ndarray, grads: np.ndarray) -> None:
+        self.rows.append(rows)
+        self.grads.append(grads)
+
+    def flush(self, table: EmbeddingTable, lr: float) -> None:
+        if not self.rows:
+            return
+        table.apply_gradients(
+            np.concatenate(self.rows), np.concatenate(self.grads), lr
+        )
+
+
+class EmbeddingModel:
+    """Parameters and computation of a PBG model.
+
+    Parameters
+    ----------
+    config:
+        The run configuration (operators, loss, negatives, …).
+    entities:
+        Entity counts and partitionings.
+    rng:
+        Source of randomness for parameter initialisation.
+    dtype:
+        Floating dtype of embeddings (float32 for training; tests use
+        float64 for numerical gradient checks).
+    """
+
+    def __init__(
+        self,
+        config: ConfigSchema,
+        entities: EntityStorage,
+        rng: np.random.Generator | None = None,
+        dtype=np.float32,
+    ) -> None:
+        self.config = config
+        self.entities = entities
+        self.dtype = dtype
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+
+        self.comparator = make_comparator(config.comparator)
+        self.loss_fn = make_loss(config.loss, config.margin)
+
+        # One operator instance + parameter tensor per relation.
+        self.operators = [
+            make_operator(rel.operator, config.dimension)
+            for rel in config.relations
+        ]
+        self.rel_params: list[np.ndarray] = [
+            op.init_params(rng).astype(dtype) for op in self.operators
+        ]
+        self.rel_optimizers = [
+            DenseAdagrad(p.shape) for p in self.rel_params
+        ]
+
+        # Resident embedding tables, keyed by (entity_type, partition).
+        self._tables: dict[tuple[str, int], EmbeddingTable] = {}
+
+    # ------------------------------------------------------------------
+    # Partition / table management
+    # ------------------------------------------------------------------
+
+    def init_partition(
+        self,
+        entity_type: str,
+        part: int,
+        rng: np.random.Generator,
+    ) -> EmbeddingTable:
+        """Allocate and initialise the table for one partition."""
+        schema = self.config.entities[entity_type]
+        if schema.featurized:
+            raise ValueError(
+                "featurized tables carry external structure; attach them "
+                "with set_table()"
+            )
+        num_rows = self.entities.part_size(entity_type, part)
+        table = DenseEmbeddingTable.create(
+            num_rows, self.config.dimension, rng, self.dtype
+        )
+        self._tables[(entity_type, part)] = table
+        return table
+
+    def init_all_partitions(self, rng: np.random.Generator) -> None:
+        """Materialise every partition (single-machine, fits-in-memory)."""
+        for entity_type in self.entities.types:
+            if entity_type not in self.config.entities:
+                continue
+            if self.config.entities[entity_type].featurized:
+                continue
+            for part in range(self.entities.num_partitions(entity_type)):
+                if (entity_type, part) not in self._tables:
+                    self.init_partition(entity_type, part, rng)
+
+    def set_table(
+        self, entity_type: str, part: int, table: EmbeddingTable
+    ) -> None:
+        self._tables[(entity_type, part)] = table
+
+    def get_table(self, entity_type: str, part: int) -> EmbeddingTable:
+        try:
+            return self._tables[(entity_type, part)]
+        except KeyError:
+            raise KeyError(
+                f"partition ({entity_type!r}, {part}) is not resident"
+            ) from None
+
+    def has_table(self, entity_type: str, part: int) -> bool:
+        return (entity_type, part) in self._tables
+
+    def drop_table(self, entity_type: str, part: int) -> EmbeddingTable:
+        """Evict a partition from memory (caller persists it first)."""
+        return self._tables.pop((entity_type, part))
+
+    def resident_tables(self) -> "list[tuple[str, int]]":
+        return sorted(self._tables)
+
+    def resident_nbytes(self) -> int:
+        """Bytes of embeddings + optimizer state currently in memory."""
+        total = sum(t.nbytes() for t in self._tables.values())
+        total += sum(p.nbytes for p in self.rel_params)
+        total += sum(o.nbytes() for o in self.rel_optimizers)
+        return total
+
+    # ------------------------------------------------------------------
+    # Global views (evaluation, export)
+    # ------------------------------------------------------------------
+
+    def global_embeddings(self, entity_type: str) -> np.ndarray:
+        """Stitch partitions into a global ``(count, d)`` matrix.
+
+        Requires all partitions of ``entity_type`` to be resident.
+        """
+        partitioning = self.entities.partitioning(entity_type)
+        out = np.empty(
+            (self.entities.count(entity_type), self.config.dimension),
+            dtype=self.dtype,
+        )
+        for part in range(partitioning.num_partitions):
+            table = self.get_table(entity_type, part)
+            rows = np.arange(table.num_rows)
+            out[partitioning.to_global(part, rows)] = table.gather(rows)
+        return out
+
+    # ------------------------------------------------------------------
+    # Shared parameters (distributed sync surface)
+    # ------------------------------------------------------------------
+
+    def shared_param_names(self) -> "list[str]":
+        return [f"rel_{i}" for i in range(len(self.rel_params))]
+
+    def get_shared_params(self) -> "dict[str, np.ndarray]":
+        """Snapshot the shared parameters (relation operators)."""
+        return {
+            f"rel_{i}": p.copy() for i, p in enumerate(self.rel_params)
+        }
+
+    def set_shared_params(self, params: "dict[str, np.ndarray]") -> None:
+        """Overwrite shared parameters from a snapshot."""
+        for i in range(len(self.rel_params)):
+            key = f"rel_{i}"
+            if key in params:
+                np.copyto(self.rel_params[i], params[key])
+
+    def get_shared_state(self) -> "dict[str, np.ndarray]":
+        """Optimizer state of shared parameters (for checkpointing)."""
+        return {
+            f"rel_{i}_state": o.state.copy()
+            for i, o in enumerate(self.rel_optimizers)
+        }
+
+    def set_shared_state(self, state: "dict[str, np.ndarray]") -> None:
+        for i, o in enumerate(self.rel_optimizers):
+            key = f"rel_{i}_state"
+            if key in state:
+                np.copyto(o.state, state[key])
+
+    # ------------------------------------------------------------------
+    # Scoring (no gradients) — used by evaluation
+    # ------------------------------------------------------------------
+
+    def score_pairs(
+        self, rel_id: int, src_emb: np.ndarray, dst_emb: np.ndarray
+    ) -> np.ndarray:
+        """``f(s, r, d)`` for aligned rows of raw embeddings."""
+        op = self.operators[rel_id]
+        t_dst = op.forward(dst_emb, self.rel_params[rel_id])
+        a = self.comparator.prepare(src_emb)
+        b = self.comparator.prepare(t_dst)
+        return self.comparator.score_pairs(a, b)
+
+    def score_dst_pool(
+        self, rel_id: int, src_emb: np.ndarray, pool_emb: np.ndarray
+    ) -> np.ndarray:
+        """Scores of every (src_i, r, candidate_j): shape (n, k)."""
+        op = self.operators[rel_id]
+        t_pool = op.forward(pool_emb, self.rel_params[rel_id])
+        a = self.comparator.prepare(src_emb)
+        pb = self.comparator.prepare(t_pool)
+        return self.comparator.score_matrix(a, pb)
+
+    def score_src_pool(
+        self, rel_id: int, dst_emb: np.ndarray, pool_emb: np.ndarray
+    ) -> np.ndarray:
+        """Scores of every (candidate_j, r, dst_i): shape (n, k)."""
+        op = self.operators[rel_id]
+        t_dst = op.forward(dst_emb, self.rel_params[rel_id])
+        b = self.comparator.prepare(t_dst)
+        pa = self.comparator.prepare(pool_emb)
+        return self.comparator.score_matrix(b, pa)
+
+    # ------------------------------------------------------------------
+    # Training: forward + backward + update for one chunk
+    # ------------------------------------------------------------------
+
+    def forward_backward_chunk(
+        self,
+        rel_id: int,
+        src_rows: np.ndarray,
+        dst_rows: np.ndarray,
+        lhs_table: EmbeddingTable,
+        rhs_table: EmbeddingTable,
+        rng: np.random.Generator,
+        edge_weights: np.ndarray | None = None,
+        update: bool = True,
+    ) -> ChunkStats:
+        """Train on one chunk of edges sharing relation ``rel_id``.
+
+        ``src_rows`` / ``dst_rows`` index into ``lhs_table`` /
+        ``rhs_table`` (partition-local offsets). Negative pools are
+        sampled within those tables, honouring the paper's
+        same-partition and same-entity-type constraints by construction.
+        """
+        cfg = self.config
+        op = self.operators[rel_id]
+        params = self.rel_params[rel_id]
+        comp = self.comparator
+        c = len(src_rows)
+        if c == 0:
+            return ChunkStats()
+
+        # ---- forward: positives -------------------------------------
+        s_raw = lhs_table.gather(src_rows)
+        d_raw = rhs_table.gather(dst_rows)
+        t_dst = op.forward(d_raw, params)
+        a = comp.prepare(s_raw)
+        b = comp.prepare(t_dst)
+        pos = comp.score_pairs(a, b)
+
+        weights = np.ones(c, dtype=s_raw.dtype)
+        if edge_weights is not None:
+            weights = weights * edge_weights.astype(s_raw.dtype)
+        rel_weight = cfg.relations[rel_id].weight
+        if rel_weight != 1.0:
+            weights = weights * rel_weight
+
+        if cfg.disable_batch_negs:
+            return self._unbatched_step(
+                rel_id, src_rows, dst_rows, s_raw, d_raw, t_dst, a, b, pos,
+                lhs_table, rhs_table, weights, rng, update,
+            )
+
+        # ---- forward: batched negative pools (Figure 3) ---------------
+        dst_pool = sample_pool(
+            dst_rows, dst_rows, rhs_table.num_rows,
+            cfg.num_batch_negs, cfg.num_uniform_negs, rng,
+        )
+        src_pool = sample_pool(
+            src_rows, src_rows, lhs_table.num_rows,
+            cfg.num_batch_negs, cfg.num_uniform_negs, rng,
+        )
+        pool_d_raw = rhs_table.gather(dst_pool.entities)
+        t_pool_d = op.forward(pool_d_raw, params)
+        pb = comp.prepare(t_pool_d)
+        neg_dst = comp.score_matrix(a, pb)
+
+        pool_s_raw = lhs_table.gather(src_pool.entities)
+        pa = comp.prepare(pool_s_raw)
+        neg_src = comp.score_matrix(b, pa)
+
+        neg = np.concatenate([neg_dst, neg_src], axis=1)
+        mask = np.concatenate([dst_pool.mask, src_pool.mask], axis=1)
+
+        # ---- loss ------------------------------------------------------
+        loss, dpos, dneg = self.loss_fn.forward_backward(
+            pos, neg, mask, weights
+        )
+        stats = ChunkStats(
+            loss=loss,
+            num_edges=c,
+            num_negatives=int(mask.sum()),
+            violations=int(np.count_nonzero(dneg)),
+        )
+        if not update:
+            return stats
+
+        kd = neg_dst.shape[1]
+        dneg_dst, dneg_src = dneg[:, :kd], dneg[:, kd:]
+
+        # ---- backward ---------------------------------------------------
+        ga_pos, gb_pos = comp.score_pairs_backward(a, b, dpos)
+        ga_neg, g_pb = comp.score_matrix_backward(a, pb, dneg_dst)
+        gb_neg, g_pa = comp.score_matrix_backward(b, pa, dneg_src)
+
+        g_s_raw = comp.prepare_backward(s_raw, ga_pos + ga_neg)
+        g_t_dst = comp.prepare_backward(t_dst, gb_pos + gb_neg)
+        g_d_raw, g_params_pos = op.backward(d_raw, params, g_t_dst)
+        g_pool_d_prep = comp.prepare_backward(t_pool_d, g_pb)
+        g_pool_d_raw, g_params_pool = op.backward(
+            pool_d_raw, params, g_pool_d_prep
+        )
+        g_pool_s_raw = comp.prepare_backward(pool_s_raw, g_pa)
+
+        # ---- updates -----------------------------------------------------
+        self._apply_row_updates(
+            lhs_table, rhs_table,
+            [(True, src_rows, g_s_raw), (True, src_pool.entities, g_pool_s_raw),
+             (False, dst_rows, g_d_raw),
+             (False, dst_pool.entities, g_pool_d_raw)],
+        )
+        self.rel_optimizers[rel_id].step(
+            params, g_params_pos + g_params_pool, cfg.relation_lr_effective
+        )
+        return stats
+
+    def _unbatched_step(
+        self, rel_id, src_rows, dst_rows, s_raw, d_raw, t_dst, a, b, pos,
+        lhs_table, rhs_table, weights, rng, update,
+    ) -> ChunkStats:
+        """Independent negatives per edge — the Figure 4 baseline.
+
+        Each edge gets its own ``k`` uniform negatives on each side, so
+        embedding fetches and scores scale as O(c * k * d) with no
+        matmul reuse.
+        """
+        cfg = self.config
+        op = self.operators[rel_id]
+        params = self.rel_params[rel_id]
+        comp = self.comparator
+        c = len(src_rows)
+        k = cfg.num_batch_negs + cfg.num_uniform_negs
+
+        dst_negs = sample_unbatched(dst_rows, rhs_table.num_rows, k, rng)
+        src_negs = sample_unbatched(src_rows, lhs_table.num_rows, k, rng)
+
+        # Gather (c, k, d) tensors — deliberately the memory-heavy path.
+        nd_raw = rhs_table.gather(dst_negs.entities.ravel()).reshape(c, k, -1)
+        ns_raw = lhs_table.gather(src_negs.entities.ravel()).reshape(c, k, -1)
+        t_nd = op.forward(nd_raw.reshape(c * k, -1), params).reshape(c, k, -1)
+        p_nd = comp.prepare(t_nd.reshape(c * k, -1)).reshape(c, k, -1)
+        p_ns = comp.prepare(ns_raw.reshape(c * k, -1)).reshape(c, k, -1)
+
+        # Prepared dot covers dot/cos; l2 needs the expanded square below.
+        neg_dst = np.einsum("cd,ckd->ck", a, p_nd)
+        neg_src = np.einsum("cd,ckd->ck", b, p_ns)
+        if cfg.comparator == "l2":
+            # -||a - n||^2 = 2 a.n - ||a||^2 - ||n||^2
+            sq_a = np.einsum("cd,cd->c", a, a)[:, None]
+            sq_b = np.einsum("cd,cd->c", b, b)[:, None]
+            sq_nd = np.einsum("ckd,ckd->ck", p_nd, p_nd)
+            sq_ns = np.einsum("ckd,ckd->ck", p_ns, p_ns)
+            neg_dst = 2.0 * neg_dst - sq_a - sq_nd
+            neg_src = 2.0 * neg_src - sq_b - sq_ns
+
+        neg = np.concatenate([neg_dst, neg_src], axis=1)
+        mask = np.concatenate([dst_negs.mask, src_negs.mask], axis=1)
+        loss, dpos, dneg = self.loss_fn.forward_backward(
+            pos, neg, mask, weights
+        )
+        stats = ChunkStats(
+            loss=loss,
+            num_edges=c,
+            num_negatives=int(mask.sum()),
+            violations=int(np.count_nonzero(dneg)),
+        )
+        if not update:
+            return stats
+
+        dneg_dst, dneg_src = dneg[:, :k], dneg[:, k:]
+        ga_pos, gb_pos = comp.score_pairs_backward(a, b, dpos)
+        if cfg.comparator == "l2":
+            ga_neg = 2.0 * np.einsum("ck,ckd->cd", dneg_dst, p_nd) \
+                - 2.0 * dneg_dst.sum(axis=1)[:, None] * a
+            g_pnd = 2.0 * dneg_dst[:, :, None] * (a[:, None, :] - p_nd)
+            gb_neg = 2.0 * np.einsum("ck,ckd->cd", dneg_src, p_ns) \
+                - 2.0 * dneg_src.sum(axis=1)[:, None] * b
+            g_pns = 2.0 * dneg_src[:, :, None] * (b[:, None, :] - p_ns)
+        else:
+            ga_neg = np.einsum("ck,ckd->cd", dneg_dst, p_nd)
+            g_pnd = dneg_dst[:, :, None] * a[:, None, :]
+            gb_neg = np.einsum("ck,ckd->cd", dneg_src, p_ns)
+            g_pns = dneg_src[:, :, None] * b[:, None, :]
+
+        g_s_raw = comp.prepare_backward(s_raw, ga_pos + ga_neg)
+        g_t_dst = comp.prepare_backward(t_dst, gb_pos + gb_neg)
+        g_d_raw, g_params_pos = op.backward(d_raw, params, g_t_dst)
+
+        g_tnd = comp.prepare_backward(
+            t_nd.reshape(c * k, -1), g_pnd.reshape(c * k, -1)
+        )
+        g_nd_raw, g_params_neg = op.backward(
+            nd_raw.reshape(c * k, -1), params, g_tnd
+        )
+        g_ns_raw = comp.prepare_backward(
+            ns_raw.reshape(c * k, -1), g_pns.reshape(c * k, -1)
+        )
+
+        self._apply_row_updates(
+            lhs_table, rhs_table,
+            [(True, src_rows, g_s_raw),
+             (True, src_negs.entities.ravel(), g_ns_raw),
+             (False, dst_rows, g_d_raw),
+             (False, dst_negs.entities.ravel(), g_nd_raw)],
+        )
+        self.rel_optimizers[rel_id].step(
+            params, g_params_pos + g_params_neg, cfg.relation_lr_effective
+        )
+        return stats
+
+    def _apply_row_updates(self, lhs_table, rhs_table, updates) -> None:
+        """Route (side, rows, grads) triples to their tables.
+
+        When both sides share one table (homogeneous graphs within one
+        partition) the gradients are combined into a single Adagrad
+        step so duplicate rows across sides are accumulated correctly.
+        """
+        lr = self.config.lr
+        if lhs_table is rhs_table:
+            bp = _Backprop()
+            for _, rows, grads in updates:
+                bp.add(rows, grads)
+            bp.flush(lhs_table, lr)
+            return
+        lhs_bp, rhs_bp = _Backprop(), _Backprop()
+        for is_lhs, rows, grads in updates:
+            (lhs_bp if is_lhs else rhs_bp).add(rows, grads)
+        lhs_bp.flush(lhs_table, lr)
+        rhs_bp.flush(rhs_table, lr)

@@ -1,0 +1,187 @@
+"""Negative sampling, batched and unbatched (paper Section 4.3).
+
+Most embedding systems are memory-bound on negatives: ``B · Bn`` dot
+products need ``B · Bn · d`` floats of memory traffic. PBG instead
+splits a batch into chunks of ~50 edges and reuses *one* candidate pool
+per chunk and side:
+
+- the chunk's own source (resp. destination) entities — these are
+  drawn from the data distribution because entities appear in edges in
+  proportion to their degree ("corrupting positive edges", reused
+  within the batch), and
+- ``U`` entities sampled uniformly from the correct entity type and the
+  active partition.
+
+Scoring a chunk against its pool is one matmul (Figure 3). The mix of
+the two sources realises the paper's α-blend of data-prevalence and
+uniform negatives (α = 0.5 by default via equal counts). Entries of the
+pool that coincide with an edge's true endpoint are *induced positives*
+and are masked out of the loss.
+
+The unbatched path (independent negatives per edge) is kept for the
+Figure 4 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "NegativePool",
+    "UnbatchedNegatives",
+    "sample_pool",
+    "sample_unbatched",
+    "PrevalenceSampler",
+]
+
+
+@dataclass
+class NegativePool:
+    """A shared candidate pool for one chunk and one corruption side.
+
+    Attributes
+    ----------
+    entities:
+        ``(k,)`` candidate entity ids (partition-local offsets).
+    mask:
+        ``(c, k)`` boolean; ``mask[i, j]`` is False when candidate ``j``
+        equals edge ``i``'s true endpoint (induced positive).
+    """
+
+    entities: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.entities)
+
+
+@dataclass
+class UnbatchedNegatives:
+    """Independent negatives per edge (the expensive baseline).
+
+    Attributes
+    ----------
+    entities:
+        ``(c, k)`` candidate entity ids, one row per edge.
+    mask:
+        ``(c, k)`` boolean validity mask.
+    """
+
+    entities: np.ndarray
+    mask: np.ndarray
+
+
+def sample_pool(
+    chunk_entities: np.ndarray,
+    true_entities: np.ndarray,
+    num_entities: int,
+    num_batch_negs: int,
+    num_uniform_negs: int,
+    rng: np.random.Generator,
+) -> NegativePool:
+    """Build the shared negative pool for one chunk side.
+
+    Parameters
+    ----------
+    chunk_entities:
+        The chunk's own entities on the corrupted side — the
+        data-distribution reuse pool.
+    true_entities:
+        Each edge's true endpoint on the corrupted side (used for
+        masking). For standard corruption this equals
+        ``chunk_entities``.
+    num_entities:
+        Entity count of the corrupted side's type in the active
+        partition (uniform sampling range).
+    num_batch_negs, num_uniform_negs:
+        Pool composition. When ``num_batch_negs`` equals the chunk
+        size, the chunk is reused as-is (zero extra sampling cost, the
+        paper's configuration); otherwise that many entities are drawn
+        from the chunk with replacement.
+    """
+    if num_batch_negs < 0 or num_uniform_negs < 0:
+        raise ValueError("negative counts must be >= 0")
+    if num_entities < 1:
+        raise ValueError("num_entities must be >= 1")
+    parts = []
+    c = len(chunk_entities)
+    if num_batch_negs > 0 and c > 0:
+        if num_batch_negs == c:
+            parts.append(chunk_entities)
+        else:
+            parts.append(
+                chunk_entities[rng.integers(0, c, size=num_batch_negs)]
+            )
+    if num_uniform_negs > 0:
+        parts.append(
+            rng.integers(0, num_entities, size=num_uniform_negs, dtype=np.int64)
+        )
+    if not parts:
+        raise ValueError("pool would be empty; need some negatives")
+    entities = np.concatenate(parts)
+    mask = entities[None, :] != true_entities[:, None]
+    return NegativePool(entities=entities, mask=mask)
+
+
+def sample_unbatched(
+    true_entities: np.ndarray,
+    num_entities: int,
+    num_negs: int,
+    rng: np.random.Generator,
+) -> UnbatchedNegatives:
+    """Sample ``num_negs`` independent uniform negatives per edge.
+
+    This is the memory-bound baseline of Figure 4: every (edge,
+    negative) pair costs its own embedding fetch downstream.
+    """
+    if num_negs < 1:
+        raise ValueError("num_negs must be >= 1")
+    if num_entities < 1:
+        raise ValueError("num_entities must be >= 1")
+    c = len(true_entities)
+    entities = rng.integers(0, num_entities, size=(c, num_negs), dtype=np.int64)
+    mask = entities != true_entities[:, None]
+    return UnbatchedNegatives(entities=entities, mask=mask)
+
+
+class PrevalenceSampler:
+    """Sample entities proportional to their frequency in the data.
+
+    Used by the full-Freebase evaluation protocol (Section 5.4.2): the
+    paper samples 10 000 candidate negatives "according to their
+    prevalence in the training data", because uniform candidates are
+    trivially separable under a long-tailed degree distribution.
+
+    Construction is O(n); each draw is a binary search over the CDF.
+    """
+
+    def __init__(self, counts: np.ndarray) -> None:
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.ndim != 1 or len(counts) == 0:
+            raise ValueError("counts must be a non-empty 1-D array")
+        if counts.min() < 0:
+            raise ValueError("counts must be non-negative")
+        total = counts.sum()
+        if total <= 0:
+            raise ValueError("at least one entity must have positive count")
+        self._cdf = np.cumsum(counts) / total
+
+    @classmethod
+    def from_edges(
+        cls, src: np.ndarray, dst: np.ndarray, num_entities: int
+    ) -> "PrevalenceSampler":
+        """Build from edge endpoints (frequency = degree)."""
+        counts = np.bincount(src, minlength=num_entities) + np.bincount(
+            dst, minlength=num_entities
+        )
+        return cls(counts)
+
+    def sample(self, size, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` entity ids (int, tuple sizes supported)."""
+        u = rng.random(size)
+        idx = np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+        # Guard the u ≈ 1.0 edge where float CDFs can overflow the range.
+        return np.minimum(idx, len(self._cdf) - 1)

@@ -1,0 +1,416 @@
+"""Single-machine trainer: epochs × buckets × hogwild workers.
+
+Implements the paper's Section 4.1 training loop. Each epoch iterates
+the edge buckets in the configured order; for bucket ``(i, j)`` the
+trainer swaps in the source-side partitions ``i`` and destination-side
+partitions ``j`` (initialising them on first touch), trains on the
+bucket's edges with lock-free worker threads (HOGWILD, Recht et al.
+2011 — embeddings are shared arrays, no synchronisation), then swaps
+partitions back to disk before moving on.
+
+With one partition this degenerates to plain minibatch training with
+everything resident. Peak-memory accounting and swap/I/O counters feed
+the memory columns of Tables 3 and 4.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.config import ConfigSchema
+from repro.core.batching import iterate_batches, iterate_chunks
+from repro.core.model import ChunkStats, EmbeddingModel
+from repro.graph.buckets import Bucket, bucket_order
+from repro.graph.edgelist import EdgeList
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import BucketedEdges, bucket_edges
+from repro.graph.storage import PartitionedEmbeddingStorage, StorageError
+
+__all__ = ["Trainer", "TrainingStats", "EpochStats"]
+
+
+@dataclass
+class EpochStats:
+    """Aggregated statistics for one training epoch."""
+
+    epoch: int
+    loss: float = 0.0
+    num_edges: int = 0
+    violations: int = 0
+    train_time: float = 0.0
+    io_time: float = 0.0
+    swaps: int = 0
+    #: in-training evaluation (config.eval_fraction > 0): mean MRR of
+    #: held-out bucket edges before / after training each bucket,
+    #: weighted by held-out edge counts (PBG's per-bucket eval stats).
+    eval_mrr_before: float = 0.0
+    eval_mrr_after: float = 0.0
+    num_eval_edges: int = 0
+
+    @property
+    def mean_loss(self) -> float:
+        return self.loss / max(self.num_edges, 1)
+
+
+@dataclass
+class TrainingStats:
+    """Whole-run statistics returned by :meth:`Trainer.train`."""
+
+    epochs: "list[EpochStats]" = field(default_factory=list)
+    peak_resident_bytes: int = 0
+    total_time: float = 0.0
+
+    @property
+    def total_edges(self) -> int:
+        return sum(e.num_edges for e in self.epochs)
+
+    @property
+    def edges_per_second(self) -> float:
+        busy = sum(e.train_time for e in self.epochs)
+        return self.total_edges / busy if busy > 0 else 0.0
+
+
+class Trainer:
+    """Partition-aware single-machine trainer.
+
+    Parameters
+    ----------
+    config:
+        Run configuration.
+    model:
+        The model to train (tables may be empty; the trainer
+        initialises partitions lazily on first touch).
+    entities:
+        Entity counts and partitionings.
+    storage:
+        Disk store for swapped-out partitions. Required when any entity
+        type has more than one partition; optional (unused) otherwise.
+    """
+
+    def __init__(
+        self,
+        config: ConfigSchema,
+        model: EmbeddingModel,
+        entities: EntityStorage,
+        storage: PartitionedEmbeddingStorage | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config
+        self.model = model
+        self.entities = entities
+        self.storage = storage
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self._partitioned = any(
+            entities.num_partitions(t) > 1
+            for t in entities.types
+            if t in config.entities
+        )
+        if self._partitioned and storage is None:
+            raise ValueError(
+                "partitioned training needs PartitionedEmbeddingStorage to "
+                "swap evicted partitions"
+            )
+        #: entity types always resident (single partition / featurized)
+        self._global_types = [
+            t
+            for t in entities.types
+            if t in config.entities and entities.num_partitions(t) == 1
+        ]
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def train(
+        self,
+        edges: EdgeList,
+        after_epoch: Callable[[int, "TrainingStats"], None] | None = None,
+    ) -> TrainingStats:
+        """Run ``config.num_epochs`` over ``edges``; returns statistics.
+
+        ``after_epoch(epoch, stats_so_far)`` is invoked with all
+        partitions resident or persisted — evaluation callbacks can
+        safely read the model (learning-curve harness, Figures 5–7).
+        """
+        bucketed = bucket_edges(edges, self.config, self.entities)
+        return self.train_bucketed(bucketed, after_epoch=after_epoch)
+
+    def train_bucketed(
+        self,
+        bucketed: BucketedEdges,
+        after_epoch: Callable[[int, "TrainingStats"], None] | None = None,
+    ) -> TrainingStats:
+        """Train on pre-bucketed edges (see :func:`bucket_edges`)."""
+        stats = TrainingStats()
+        start = time.perf_counter()
+        self._ensure_global_types()
+        for epoch in range(self.config.num_epochs):
+            epoch_stats = self._run_epoch(epoch, bucketed, stats)
+            stats.epochs.append(epoch_stats)
+            if self.config.checkpoint_dir is not None:
+                self._write_checkpoint(epoch)
+            if after_epoch is not None:
+                after_epoch(epoch, stats)
+        stats.total_time = time.perf_counter() - start
+        return stats
+
+    def _write_checkpoint(self, epoch: int) -> None:
+        """Persist the model after an epoch (paper Figure 2: trainers
+        intermittently write checkpoints to the shared filesystem).
+
+        With partitioned training only resident partitions are saved
+        here; the evicted ones were already flushed to the partition
+        store, which shares the checkpoint's directory layout when
+        ``checkpoint_dir`` is used for both.
+        """
+        from repro.core.checkpointing import save_model
+
+        save_model(
+            self.config.checkpoint_dir,
+            self.model,
+            self.entities,
+            metadata={"epoch": epoch},
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch / bucket machinery
+    # ------------------------------------------------------------------
+
+    def _ensure_global_types(self) -> None:
+        """Materialise single-partition entity types (always resident)."""
+        for entity_type in self._global_types:
+            if self.config.entities[entity_type].featurized:
+                if not self.model.has_table(entity_type, 0):
+                    raise ValueError(
+                        f"featurized type {entity_type!r} needs its table "
+                        "attached before training (model.set_table)"
+                    )
+                continue
+            if not self.model.has_table(entity_type, 0):
+                self.model.init_partition(entity_type, 0, self.rng)
+
+    def _run_epoch(
+        self, epoch: int, bucketed: BucketedEdges, run_stats: TrainingStats
+    ) -> EpochStats:
+        estats = EpochStats(epoch=epoch)
+        order = bucket_order(
+            self.config.bucket_order,
+            bucketed.nparts_lhs,
+            bucketed.nparts_rhs,
+            self.rng,
+        )
+        passes = self.config.stratum_passes
+        # Stratum passes (paper footnote 3): visit the whole grid
+        # `passes` times per epoch, training a disjoint 1/passes slice
+        # of each bucket's edges per visit ("stratum losses", Gemulla
+        # et al. 2011) — more frequent bucket switching at the cost of
+        # proportionally more swaps.
+        visits = [
+            (stratum, bucket)
+            for stratum in range(passes)
+            for bucket in order
+        ]
+        for stratum, bucket in visits:
+            t0 = time.perf_counter()
+            self._swap_to_bucket(bucket, estats)
+            estats.io_time += time.perf_counter() - t0
+            run_stats.peak_resident_bytes = max(
+                run_stats.peak_resident_bytes, self.model.resident_nbytes()
+            )
+            edges = bucketed.edges_for(bucket)
+            if len(edges) == 0:
+                continue
+            if passes > 1:
+                perm = np.random.default_rng(
+                    [self.config.seed, epoch, bucket.lhs, bucket.rhs]
+                ).permutation(len(edges))
+                edges = edges[perm[stratum::passes]]
+                if len(edges) == 0:
+                    continue
+            # Optional in-training evaluation: hold out a fraction of
+            # this bucket's edges and measure their ranking quality
+            # before and after training the bucket (PBG's eval stats).
+            holdout = EdgeList.empty()
+            if self.config.eval_fraction > 0 and len(edges) > 1:
+                n_hold = max(1, int(self.config.eval_fraction * len(edges)))
+                perm = self.rng.permutation(len(edges))
+                holdout = edges[perm[:n_hold]]
+                edges = edges[perm[n_hold:]]
+                before = self._bucket_eval(bucket, holdout)
+            t1 = time.perf_counter()
+            bucket_stats = self._train_bucket(bucket, edges)
+            estats.train_time += time.perf_counter() - t1
+            if len(holdout):
+                after = self._bucket_eval(bucket, holdout)
+                estats.eval_mrr_before += before * len(holdout)
+                estats.eval_mrr_after += after * len(holdout)
+                estats.num_eval_edges += len(holdout)
+            estats.loss += bucket_stats.loss
+            estats.num_edges += bucket_stats.num_edges
+            estats.violations += bucket_stats.violations
+        if estats.num_eval_edges:
+            estats.eval_mrr_before /= estats.num_eval_edges
+            estats.eval_mrr_after /= estats.num_eval_edges
+        # Persist the trailing resident partitions so evaluation can
+        # reload a complete model.
+        if self._partitioned:
+            t0 = time.perf_counter()
+            self._flush_resident()
+            estats.io_time += time.perf_counter() - t0
+        return estats
+
+    _EVAL_CANDIDATES = 100
+    _EVAL_MAX_EDGES = 512
+
+    def _bucket_eval(self, bucket: Bucket, holdout: EdgeList) -> float:
+        """Quick in-bucket MRR: rank held-out destinations against
+        uniform candidates from the resident destination partition."""
+        if len(holdout) > self._EVAL_MAX_EDGES:
+            holdout = holdout[: self._EVAL_MAX_EDGES]
+        ranks: list[np.ndarray] = []
+        for rel_id, chunk in holdout.group_by_relation().items():
+            rel = self.config.relations[rel_id]
+            lhs_part = (
+                bucket.lhs if self.entities.num_partitions(rel.lhs) > 1 else 0
+            )
+            rhs_part = (
+                bucket.rhs if self.entities.num_partitions(rel.rhs) > 1 else 0
+            )
+            lhs_table = self.model.get_table(rel.lhs, lhs_part)
+            rhs_table = self.model.get_table(rel.rhs, rhs_part)
+            cand = self.rng.integers(
+                0, rhs_table.num_rows,
+                size=min(self._EVAL_CANDIDATES, rhs_table.num_rows),
+            )
+            src_emb = lhs_table.gather(chunk.src)
+            pos = self.model.score_pairs(
+                rel_id, src_emb, rhs_table.gather(chunk.dst)
+            )
+            scores = self.model.score_dst_pool(
+                rel_id, src_emb, rhs_table.gather(cand)
+            )
+            scores[cand[None, :] == chunk.dst[:, None]] = -np.inf
+            ranks.append(1 + (scores > pos[:, None]).sum(axis=1))
+        all_ranks = np.concatenate(ranks)
+        return float((1.0 / all_ranks).mean())
+
+    def _required_partitions(self, bucket: Bucket) -> "set[tuple[str, int]]":
+        """(entity_type, part) pairs that must be resident for a bucket."""
+        needed: set[tuple[str, int]] = set()
+        for entity_type in self._global_types:
+            needed.add((entity_type, 0))
+        for rel in self.config.relations:
+            if self.entities.num_partitions(rel.lhs) > 1:
+                needed.add((rel.lhs, bucket.lhs))
+            if self.entities.num_partitions(rel.rhs) > 1:
+                needed.add((rel.rhs, bucket.rhs))
+        return needed
+
+    def _swap_to_bucket(self, bucket: Bucket, estats: EpochStats) -> None:
+        """Evict partitions not needed by ``bucket``; load/init the rest."""
+        if not self._partitioned:
+            # Everything stays resident; just make sure it exists.
+            for entity_type, part in self._required_partitions(bucket):
+                if not self.model.has_table(entity_type, part):
+                    self.model.init_partition(entity_type, part, self.rng)
+            return
+        needed = self._required_partitions(bucket)
+        for key in list(self.model.resident_tables()):
+            if key not in needed and key[0] not in self._global_types:
+                self._evict(*key)
+                estats.swaps += 1
+        for entity_type, part in sorted(needed):
+            if not self.model.has_table(entity_type, part):
+                self._load_or_init(entity_type, part)
+                estats.swaps += 1
+
+    def _evict(self, entity_type: str, part: int) -> None:
+        table = self.model.drop_table(entity_type, part)
+        self.storage.save(
+            entity_type, part, table.weights, table.optimizer.state
+        )
+
+    def _load_or_init(self, entity_type: str, part: int) -> None:
+        from repro.core.tables import DenseEmbeddingTable
+
+        try:
+            weights, state = self.storage.load(entity_type, part)
+        except StorageError:
+            self.model.init_partition(entity_type, part, self.rng)
+            return
+        self.model.set_table(
+            entity_type, part, DenseEmbeddingTable(weights, state)
+        )
+
+    def _flush_resident(self) -> None:
+        """Persist all resident multi-partition tables (keep them resident)."""
+        for entity_type, part in self.model.resident_tables():
+            if self.entities.num_partitions(entity_type) > 1:
+                table = self.model.get_table(entity_type, part)
+                self.storage.save(
+                    entity_type, part, table.weights, table.optimizer.state
+                )
+
+    # ------------------------------------------------------------------
+    # In-bucket training (HOGWILD)
+    # ------------------------------------------------------------------
+
+    def _train_bucket(self, bucket: Bucket, edges: EdgeList) -> ChunkStats:
+        total = ChunkStats()
+        if self.config.num_workers == 1:
+            for batch in iterate_batches(
+                edges, self.config.batch_size, self.rng
+            ):
+                total.merge(self._train_batch(bucket, batch, self.rng))
+            return total
+        # Lock-free parallel workers over disjoint batch streams.
+        batches = list(
+            iterate_batches(edges, self.config.batch_size, self.rng)
+        )
+        seeds = np.random.SeedSequence(
+            int(self.rng.integers(2**63))
+        ).spawn(self.config.num_workers)
+        worker_rngs = [np.random.default_rng(s) for s in seeds]
+
+        def work(worker_id: int) -> ChunkStats:
+            wstats = ChunkStats()
+            for b in range(worker_id, len(batches), self.config.num_workers):
+                wstats.merge(
+                    self._train_batch(
+                        bucket, batches[b], worker_rngs[worker_id]
+                    )
+                )
+            return wstats
+
+        with ThreadPoolExecutor(self.config.num_workers) as pool:
+            for wstats in pool.map(work, range(self.config.num_workers)):
+                total.merge(wstats)
+        return total
+
+    def _train_batch(
+        self, bucket: Bucket, batch: EdgeList, rng: np.random.Generator
+    ) -> ChunkStats:
+        stats = ChunkStats()
+        for rel_id, chunk in iterate_chunks(batch, self.config.chunk_size):
+            rel = self.config.relations[rel_id]
+            lhs_part = bucket.lhs if self.entities.num_partitions(rel.lhs) > 1 else 0
+            rhs_part = bucket.rhs if self.entities.num_partitions(rel.rhs) > 1 else 0
+            lhs_table = self.model.get_table(rel.lhs, lhs_part)
+            rhs_table = self.model.get_table(rel.rhs, rhs_part)
+            stats.merge(
+                self.model.forward_backward_chunk(
+                    rel_id,
+                    chunk.src,
+                    chunk.dst,
+                    lhs_table,
+                    rhs_table,
+                    rng,
+                    edge_weights=chunk.weights,
+                )
+            )
+        return stats

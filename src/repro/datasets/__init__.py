@@ -1,0 +1,52 @@
+"""Synthetic dataset generators matching the paper's workload shapes.
+
+The paper evaluates on public graph dumps (LiveJournal, YouTube,
+Twitter, Freebase) that cannot be downloaded in this offline
+environment; these generators produce graphs with the same *structural
+properties* that drive the experiments — heavy-tailed degree
+distributions, latent community structure that makes link prediction
+learnable, typed multi-relation structure for knowledge graphs, and
+ground-truth labels for node classification. Scales are parameterised
+so benchmarks run at laptop size while preserving trends.
+
+- :mod:`~repro.datasets.social` — directed social networks
+  (LiveJournal / Twitter / YouTube analogues).
+- :mod:`~repro.datasets.knowledge` — multi-relation knowledge graphs
+  (FB15k / full-Freebase analogues) and bipartite user–item graphs.
+- :mod:`~repro.datasets.labels` — planted community labels for node
+  classification.
+- :mod:`~repro.datasets.splits` — train/valid/test edge splits with
+  entity coverage.
+"""
+
+from repro.datasets.social import (
+    SocialGraph,
+    social_network,
+    livejournal_like,
+    twitter_like,
+    youtube_like,
+)
+from repro.datasets.knowledge import (
+    KnowledgeGraph,
+    knowledge_graph,
+    fb15k_like,
+    freebase_like,
+    user_item_graph,
+)
+from repro.datasets.labels import community_labels
+from repro.datasets.splits import split_with_coverage
+
+__all__ = [
+    "SocialGraph",
+    "social_network",
+    "livejournal_like",
+    "twitter_like",
+    "youtube_like",
+    "KnowledgeGraph",
+    "knowledge_graph",
+    "fb15k_like",
+    "freebase_like",
+    "user_item_graph",
+    "community_labels",
+    "split_with_coverage",
+]

@@ -1,0 +1,35 @@
+"""Simulated distributed execution (paper Section 4.2, Figure 2).
+
+PBG's distributed mode combines three services:
+
+- a **lock server** (:mod:`~repro.distributed.lock_server`) that parcels
+  out edge buckets to machines such that concurrently-trained buckets
+  touch disjoint partitions, preferring buckets that reuse a machine's
+  resident partitions, and maintaining the initialisation invariant;
+- a **partition server** (:mod:`~repro.distributed.partition_server`)
+  sharded across machines, holding the partitioned embeddings that are
+  not currently being trained;
+- a **parameter server** (:mod:`~repro.distributed.parameter_server`)
+  for the small set of shared parameters (relation operators,
+  unpartitioned entity types), synchronised asynchronously by a
+  background thread per trainer.
+
+:mod:`~repro.distributed.cluster` wires these into a multi-machine
+trainer where each "machine" is a worker thread with private parameter
+copies — transfers are real array copies, so staleness, locking and
+occupancy effects are faithfully exercised; only the transport is
+in-process.
+"""
+
+from repro.distributed.lock_server import LockServer
+from repro.distributed.parameter_server import ParameterServer
+from repro.distributed.partition_server import PartitionServer
+from repro.distributed.cluster import DistributedTrainer, MachineStats
+
+__all__ = [
+    "LockServer",
+    "ParameterServer",
+    "PartitionServer",
+    "DistributedTrainer",
+    "MachineStats",
+]

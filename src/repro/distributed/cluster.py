@@ -1,0 +1,509 @@
+"""Multi-machine training, simulated in-process or across processes.
+
+Each "machine" runs the paper's per-bucket protocol (Figure 2):
+
+1. request a bucket from the lock server;
+2. save partitions no longer needed to the sharded partition server,
+   fetch the new bucket's partitions (initialise on first touch);
+3. train the bucket's edges;
+4. synchronise shared parameters with the parameter server
+   (throttled, asynchronous w.r.t. other machines);
+5. release the bucket.
+
+Two transports are provided:
+
+- ``mode="thread"`` — machines are threads with private parameter
+  copies (transfers deep-copy arrays). Deterministic-ish and cheap;
+  used by tests. Python's GIL serialises compute, so wallclock does
+  not shrink with machines in this mode.
+- ``mode="process"`` — machines are OS processes; the three servers are
+  hosted by a ``multiprocessing`` manager and accessed through proxies,
+  so every transfer really crosses a process boundary (pickled arrays —
+  an honest stand-in for the paper's TCP transport). This is the mode
+  the scaling benchmarks use: compute parallelism is real.
+
+In both modes the caller is the coordinator: workers meet a barrier at
+each epoch end; the coordinator flushes learning-curve evaluations,
+resets the lock server, and releases the next epoch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing.managers import BaseManager
+from typing import Callable
+
+import numpy as np
+
+from repro.config import ConfigSchema
+from repro.core.batching import iterate_batches, iterate_chunks
+from repro.core.model import ChunkStats, EmbeddingModel
+from repro.core.tables import DenseEmbeddingTable
+from repro.distributed.lock_server import LockServer
+from repro.distributed.parameter_server import (
+    ParameterServer,
+    SharedParameterClient,
+)
+from repro.distributed.partition_server import PartitionServer
+from repro.graph.buckets import Bucket
+from repro.graph.edgelist import EdgeList
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import BucketedEdges, bucket_edges
+
+__all__ = ["DistributedTrainer", "MachineStats", "DistributedStats"]
+
+_IDLE_SLEEP = 0.002  # seconds between lock-server retries when starved
+_BARRIER_TIMEOUT = 3600.0
+
+
+@dataclass
+class MachineStats:
+    """Per-machine accounting."""
+
+    machine: int
+    buckets_trained: int = 0
+    num_edges: int = 0
+    loss: float = 0.0
+    train_time: float = 0.0
+    idle_time: float = 0.0
+    transfer_time: float = 0.0
+    peak_resident_bytes: int = 0
+
+
+@dataclass
+class DistributedStats:
+    """Whole-cluster run statistics."""
+
+    machines: "list[MachineStats]" = field(default_factory=list)
+    total_time: float = 0.0
+    epoch_times: "list[float]" = field(default_factory=list)
+
+    @property
+    def peak_machine_bytes(self) -> int:
+        """Max over machines of resident + hosted-shard memory."""
+        return max((m.peak_resident_bytes for m in self.machines), default=0)
+
+    @property
+    def total_edges(self) -> int:
+        return sum(m.num_edges for m in self.machines)
+
+    @property
+    def mean_idle_fraction(self) -> float:
+        busy = sum(m.train_time for m in self.machines)
+        idle = sum(m.idle_time for m in self.machines)
+        return idle / (busy + idle) if busy + idle > 0 else 0.0
+
+
+class _ServerManager(BaseManager):
+    """Manager hosting the three coordination servers for process mode."""
+
+
+_ServerManager.register("LockServer", LockServer)
+_ServerManager.register("PartitionServer", PartitionServer)
+_ServerManager.register("ParameterServer", ParameterServer)
+
+
+@dataclass
+class _WorkerContext:
+    """Everything one machine needs; picklable for process mode
+    (under the fork start method it is simply inherited)."""
+
+    machine: int
+    config: ConfigSchema
+    entities: EntityStorage
+    bucketed: BucketedEdges
+    seed: int
+    unpartitioned_types: "list[str]"
+
+
+def _machine_main(
+    ctx: _WorkerContext,
+    lock_server,
+    partition_server,
+    parameter_server,
+    barrier,
+    result_queue,
+) -> None:
+    """One machine's full run (works with objects or proxies)."""
+    cfg = ctx.config
+    mstats = MachineStats(ctx.machine)
+    try:
+        rng = np.random.default_rng(
+            np.random.SeedSequence([ctx.seed, ctx.machine])
+        )
+        model = EmbeddingModel(cfg, ctx.entities, rng=rng)
+        # Unpartitioned entity types are shared parameters: same init
+        # seed on every machine, then the parameter server's canonical
+        # copy takes over.
+        for t in ctx.unpartitioned_types:
+            model.init_partition(t, 0, np.random.default_rng(ctx.seed))
+        client = SharedParameterClient(
+            parameter_server,
+            get_params=lambda: _shared_snapshot(
+                model, ctx.unpartitioned_types
+            ),
+            set_params=lambda p: _shared_restore(
+                model, p, ctx.unpartitioned_types
+            ),
+            sync_interval=cfg.parameter_sync_interval,
+        )
+        client.initial_sync()
+
+        for _epoch in range(cfg.num_epochs):
+            while True:
+                bucket = lock_server.acquire(ctx.machine)
+                if bucket is None:
+                    if lock_server.epoch_done():
+                        break
+                    t0 = time.perf_counter()
+                    time.sleep(_IDLE_SLEEP)
+                    mstats.idle_time += time.perf_counter() - t0
+                    continue
+                bucket = Bucket(*bucket)
+                t0 = time.perf_counter()
+                _swap_to_bucket(ctx, model, bucket, partition_server, rng)
+                mstats.transfer_time += time.perf_counter() - t0
+                hosted = partition_server.shard_nbytes()[ctx.machine]
+                mstats.peak_resident_bytes = max(
+                    mstats.peak_resident_bytes,
+                    model.resident_nbytes() + hosted,
+                )
+                edges = ctx.bucketed.edges_for(bucket)
+                t1 = time.perf_counter()
+                bstats = _train_bucket(ctx, model, client, bucket, edges, rng)
+                mstats.train_time += time.perf_counter() - t1
+                mstats.loss += bstats.loss
+                mstats.num_edges += bstats.num_edges
+                mstats.buckets_trained += 1
+                lock_server.release(ctx.machine, bucket)
+
+            # Flush resident partitions so the epoch-end model is complete.
+            t0 = time.perf_counter()
+            _flush_partitions(ctx, model, partition_server)
+            client.maybe_sync(force=True)
+            mstats.transfer_time += time.perf_counter() - t0
+            barrier.wait(_BARRIER_TIMEOUT)  # epoch end
+            barrier.wait(_BARRIER_TIMEOUT)  # coordinator go-ahead
+        result_queue.put(("ok", mstats))
+    except BaseException as exc:
+        try:
+            barrier.abort()
+        finally:
+            result_queue.put(("error", repr(exc)))
+
+
+def _needed_partitions(
+    ctx: _WorkerContext, bucket: Bucket
+) -> "set[tuple[str, int]]":
+    needed: set[tuple[str, int]] = set()
+    for t in ctx.unpartitioned_types:
+        needed.add((t, 0))
+    for rel in ctx.config.relations:
+        if ctx.entities.num_partitions(rel.lhs) > 1:
+            needed.add((rel.lhs, bucket.lhs))
+        if ctx.entities.num_partitions(rel.rhs) > 1:
+            needed.add((rel.rhs, bucket.rhs))
+    return needed
+
+
+def _swap_to_bucket(
+    ctx: _WorkerContext,
+    model: EmbeddingModel,
+    bucket: Bucket,
+    partition_server,
+    rng: np.random.Generator,
+) -> None:
+    needed = _needed_partitions(ctx, bucket)
+    for key in list(model.resident_tables()):
+        if key not in needed and key[0] not in ctx.unpartitioned_types:
+            table = model.drop_table(*key)
+            partition_server.put(
+                key[0], key[1], table.weights, table.optimizer.state
+            )
+    for entity_type, part in sorted(needed):
+        if model.has_table(entity_type, part):
+            continue
+        entry = partition_server.get(entity_type, part)
+        if entry is None:
+            model.init_partition(entity_type, part, rng)
+        else:
+            model.set_table(entity_type, part, DenseEmbeddingTable(*entry))
+
+
+def _flush_partitions(
+    ctx: _WorkerContext, model: EmbeddingModel, partition_server
+) -> None:
+    for entity_type, part in list(model.resident_tables()):
+        if entity_type in ctx.unpartitioned_types:
+            continue
+        table = model.drop_table(entity_type, part)
+        partition_server.put(
+            entity_type, part, table.weights, table.optimizer.state
+        )
+
+
+def _shared_snapshot(
+    model: EmbeddingModel, unpartitioned_types: "list[str]"
+) -> "dict[str, np.ndarray]":
+    params = model.get_shared_params()
+    for t in unpartitioned_types:
+        params[f"table_{t}"] = model.get_table(t, 0).weights.copy()
+    return params
+
+
+def _shared_restore(
+    model: EmbeddingModel,
+    params: "dict[str, np.ndarray]",
+    unpartitioned_types: "list[str]",
+) -> None:
+    model.set_shared_params(params)
+    for t in unpartitioned_types:
+        key = f"table_{t}"
+        if key in params:
+            np.copyto(model.get_table(t, 0).weights, params[key])
+
+
+def _train_bucket(
+    ctx: _WorkerContext,
+    model: EmbeddingModel,
+    client: SharedParameterClient,
+    bucket: Bucket,
+    edges: EdgeList,
+    rng: np.random.Generator,
+) -> ChunkStats:
+    cfg = ctx.config
+    total = ChunkStats()
+    for batch in iterate_batches(edges, cfg.batch_size, rng):
+        for rel_id, chunk in iterate_chunks(batch, cfg.chunk_size):
+            rel = cfg.relations[rel_id]
+            lhs_part = (
+                bucket.lhs if ctx.entities.num_partitions(rel.lhs) > 1 else 0
+            )
+            rhs_part = (
+                bucket.rhs if ctx.entities.num_partitions(rel.rhs) > 1 else 0
+            )
+            total.merge(
+                model.forward_backward_chunk(
+                    rel_id,
+                    chunk.src,
+                    chunk.dst,
+                    model.get_table(rel.lhs, lhs_part),
+                    model.get_table(rel.rhs, rhs_part),
+                    rng,
+                    edge_weights=chunk.weights,
+                )
+            )
+        client.maybe_sync()
+    return total
+
+
+class DistributedTrainer:
+    """Train a PBG model on a simulated cluster of ``M`` machines.
+
+    Parameters
+    ----------
+    config:
+        Must have ``num_machines >= 1`` and at least
+        ``2 * num_machines`` partitions on partitioned entity types.
+    entities:
+        Entity counts with partitionings attached.
+    mode:
+        ``"thread"`` (default; in-process, test-friendly) or
+        ``"process"`` (true parallelism; used by scaling benchmarks).
+    bandwidth_bytes_per_s:
+        Optional simulated network bandwidth for partition transfers
+        (thread mode only — process mode pays real IPC costs).
+    """
+
+    def __init__(
+        self,
+        config: ConfigSchema,
+        entities: EntityStorage,
+        mode: str = "thread",
+        bandwidth_bytes_per_s: float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.config = config
+        self.entities = entities
+        self.mode = mode
+        self.num_machines = config.num_machines
+        self.seed = config.seed if seed is None else seed
+        self.bandwidth = bandwidth_bytes_per_s
+        # Instantiated per-train() in process mode; kept for inspection
+        # in thread mode.
+        self.lock_server = None
+        self.partition_server = None
+        self.parameter_server = None
+        self._unpartitioned_types = [
+            t
+            for t in entities.types
+            if t in config.entities and entities.num_partitions(t) == 1
+        ]
+        self._partitioned_types = [
+            t
+            for t in entities.types
+            if t in config.entities and entities.num_partitions(t) > 1
+        ]
+
+    # ------------------------------------------------------------------
+
+    def train(
+        self,
+        edges: EdgeList,
+        after_epoch: Callable[[int, EmbeddingModel], None] | None = None,
+    ) -> tuple[EmbeddingModel, DistributedStats]:
+        """Run the cluster; returns the assembled model and statistics.
+
+        ``after_epoch(epoch, model)`` runs in the coordinator (this
+        process) with a freshly assembled model while the machines wait
+        at the epoch barrier — its cost is excluded from epoch times.
+        """
+        bucketed = bucket_edges(edges, self.config, self.entities)
+        if bucketed.nparts_lhs != bucketed.nparts_rhs:
+            raise ValueError(
+                "distributed training expects a square partition grid"
+            )
+
+        manager = None
+        if self.mode == "process":
+            manager = _ServerManager()
+            manager.start()
+            lock_server = manager.LockServer(
+                bucketed.nparts_lhs, bucketed.nparts_rhs
+            )
+            partition_server = manager.PartitionServer(self.num_machines)
+            parameter_server = manager.ParameterServer(self.num_machines)
+            mp_ctx = mp.get_context("fork")
+            barrier = mp_ctx.Barrier(self.num_machines + 1)
+            result_queue = mp_ctx.Queue()
+        else:
+            lock_server = LockServer(bucketed.nparts_lhs, bucketed.nparts_rhs)
+            partition_server = PartitionServer(
+                self.num_machines, self.bandwidth
+            )
+            parameter_server = ParameterServer(self.num_machines)
+            barrier = threading.Barrier(self.num_machines + 1)
+            result_queue = queue_mod.Queue()
+        self.lock_server = lock_server
+        self.partition_server = partition_server
+        self.parameter_server = parameter_server
+
+        contexts = [
+            _WorkerContext(
+                machine=m,
+                config=self.config,
+                entities=self.entities,
+                bucketed=bucketed,
+                seed=self.seed,
+                unpartitioned_types=self._unpartitioned_types,
+            )
+            for m in range(self.num_machines)
+        ]
+        args = lambda ctx: (  # noqa: E731
+            ctx, lock_server, partition_server, parameter_server,
+            barrier, result_queue,
+        )
+        if self.mode == "process":
+            workers = [
+                mp.get_context("fork").Process(
+                    target=_machine_main, args=args(ctx), daemon=True
+                )
+                for ctx in contexts
+            ]
+        else:
+            workers = [
+                threading.Thread(
+                    target=_machine_main, args=args(ctx), daemon=True
+                )
+                for ctx in contexts
+            ]
+        stats = DistributedStats()
+        #: live view of the running stats (epoch_times grows as epochs
+        #: complete) — learning-curve callbacks read this.
+        self.current_stats = stats
+        start = time.perf_counter()
+        epoch_start = start
+        for w in workers:
+            w.start()
+        try:
+            for epoch in range(self.config.num_epochs):
+                barrier.wait(_BARRIER_TIMEOUT)  # workers hit epoch end
+                stats.epoch_times.append(time.perf_counter() - epoch_start)
+                if after_epoch is not None:
+                    after_epoch(epoch, self.assemble_model())
+                lock_server.new_epoch()
+                epoch_start = time.perf_counter()
+                barrier.wait(_BARRIER_TIMEOUT)  # release next epoch
+        except threading.BrokenBarrierError:
+            pass  # a worker failed; surface its error below
+        except Exception:
+            barrier.abort()
+            raise
+        finally:
+            results: list = []
+            deadline = time.monotonic() + 120
+            while len(results) < self.num_machines:
+                try:
+                    results.append(
+                        result_queue.get(
+                            timeout=max(0.1, deadline - time.monotonic())
+                        )
+                    )
+                except queue_mod.Empty:
+                    break
+            for w in workers:
+                w.join(timeout=30)
+        errors = [r[1] for r in results if r[0] == "error"]
+        if errors:
+            if manager is not None:
+                manager.shutdown()
+            raise RuntimeError(f"machine failure(s): {errors}")
+        stats.machines = sorted(
+            (r[1] for r in results), key=lambda m: m.machine
+        )
+        stats.total_time = time.perf_counter() - start
+        model = self.assemble_model()
+        if manager is not None:
+            manager.shutdown()
+            # Proxies die with the manager; drop the references.
+            self.lock_server = None
+            self.partition_server = None
+            self.parameter_server = None
+        return model, stats
+
+    # ------------------------------------------------------------------
+
+    def assemble_model(self) -> EmbeddingModel:
+        """Build a complete model from the servers' current state."""
+        model = EmbeddingModel(
+            self.config, self.entities,
+            rng=np.random.default_rng(self.seed),
+        )
+        for t in self._unpartitioned_types:
+            model.init_partition(t, 0, np.random.default_rng(self.seed))
+        for entity_type, part in self.partition_server.keys():
+            entry = self.partition_server.get(entity_type, part)
+            model.set_table(entity_type, part, DenseEmbeddingTable(*entry))
+        # Any never-stored partitions (untrained) get fresh tables.
+        for t in self._partitioned_types:
+            for p in range(self.entities.num_partitions(t)):
+                if not model.has_table(t, p):
+                    model.init_partition(
+                        t, p, np.random.default_rng(self.seed)
+                    )
+        shared = {
+            name: self.parameter_server.pull(name)
+            for name in self.parameter_server.names()
+        }
+        model.set_shared_params(shared)
+        for t in self._unpartitioned_types:
+            key = f"table_{t}"
+            if key in shared:
+                np.copyto(model.get_table(t, 0).weights, shared[key])
+        return model

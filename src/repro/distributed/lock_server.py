@@ -1,0 +1,168 @@
+"""The bucket lock server (paper Section 4.2).
+
+One logical instance coordinates all machines: a machine asks for a
+bucket; the server returns one whose two partitions are currently
+unlocked, preferring buckets that share a partition with the machine's
+previous bucket (to minimise partition-server traffic), and enforcing
+the alignment invariant — only the first bucket of a run may operate on
+two uninitialised partitions (Section 4.1).
+
+Up to ``P/2`` machines can hold disjoint buckets on a ``P x P`` grid,
+which is why the paper pairs ``M`` machines with ``2M`` partitions.
+A machine that finds no eligible bucket idles and retries — the
+"incomplete occupancy" overhead discussed with Table 3.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.graph.buckets import Bucket
+
+__all__ = ["LockServer", "LockServerStats"]
+
+
+@dataclass
+class LockServerStats:
+    """Counters for diagnosing scheduling behaviour."""
+
+    acquires: int = 0
+    failed_acquires: int = 0
+    affinity_hits: int = 0
+    epochs: int = 0
+
+
+@dataclass
+class _State:
+    remaining: "set[Bucket]" = field(default_factory=set)
+    locked_partitions: "set[int]" = field(default_factory=set)
+    initialized_partitions: "set[int]" = field(default_factory=set)
+    active: "dict[int, Bucket]" = field(default_factory=dict)
+    done_any: bool = False
+
+
+class LockServer:
+    """Thread-safe bucket scheduler over a partition grid.
+
+    Partitions are treated symmetrically (the common case of one
+    partitioned entity scheme on both edge sides): locking bucket
+    ``(i, j)`` locks partitions ``{i, j}``.
+    """
+
+    def __init__(self, nparts_lhs: int, nparts_rhs: int) -> None:
+        if nparts_lhs < 1 or nparts_rhs < 1:
+            raise ValueError("partition counts must be >= 1")
+        self.nparts_lhs = nparts_lhs
+        self.nparts_rhs = nparts_rhs
+        self._all_buckets = [
+            Bucket(i, j)
+            for i in range(nparts_lhs)
+            for j in range(nparts_rhs)
+        ]
+        self._lock = threading.Lock()
+        self._state = _State()
+        self.stats = LockServerStats()
+        self.new_epoch()
+
+    # ------------------------------------------------------------------
+
+    def new_epoch(self, initialized_carry_over: bool = True) -> None:
+        """Reset the remaining-bucket set for a new pass over the grid.
+
+        Initialised partitions carry over between epochs (they are
+        trained, hence aligned); active locks must have been released.
+        """
+        with self._lock:
+            if self._state.active:
+                raise RuntimeError(
+                    f"cannot start an epoch with active buckets: "
+                    f"{self._state.active}"
+                )
+            init = (
+                self._state.initialized_partitions
+                if initialized_carry_over
+                else set()
+            )
+            done_any = self._state.done_any if initialized_carry_over else False
+            self._state = _State(
+                remaining=set(self._all_buckets),
+                initialized_partitions=init,
+                done_any=done_any,
+            )
+            self.stats.epochs += 1
+
+    def acquire(self, machine: int) -> Bucket | None:
+        """Request a bucket for ``machine``; None if nothing is eligible.
+
+        Preference order: (1) buckets sharing a partition with the
+        machine's previous bucket (partition reuse), (2) buckets with
+        the most initialised partitions (alignment), (3) grid order.
+        """
+        with self._lock:
+            st = self._state
+            if machine in st.active:
+                raise RuntimeError(
+                    f"machine {machine} already holds {st.active[machine]}"
+                )
+            prev = self._prev.get(machine)
+            best: Bucket | None = None
+            best_key: tuple | None = None
+            for bucket in st.remaining:
+                parts = {bucket.lhs, bucket.rhs}
+                if parts & st.locked_partitions:
+                    continue
+                n_init = len(parts & st.initialized_partitions)
+                if n_init == 0 and (st.done_any or st.active):
+                    # Alignment invariant: only the very first bucket of
+                    # a run may touch two uninitialised partitions — a
+                    # concurrent fresh-fresh bucket would seed a second,
+                    # unaligned embedding space.
+                    continue
+                affinity = 0
+                if prev is not None:
+                    affinity = len(parts & {prev.lhs, prev.rhs})
+                key = (affinity, n_init, -bucket.lhs, -bucket.rhs)
+                if best_key is None or key > best_key:
+                    best, best_key = bucket, key
+            if best is None:
+                self.stats.failed_acquires += 1
+                return None
+            st.remaining.discard(best)
+            st.locked_partitions.update((best.lhs, best.rhs))
+            st.active[machine] = best
+            self.stats.acquires += 1
+            if best_key[0] > 0:
+                self.stats.affinity_hits += 1
+            return best
+
+    def release(self, machine: int, bucket: Bucket) -> None:
+        """Return a trained bucket; unlocks and marks partitions aligned."""
+        with self._lock:
+            st = self._state
+            if st.active.get(machine) != bucket:
+                raise RuntimeError(
+                    f"machine {machine} does not hold {bucket} "
+                    f"(holds {st.active.get(machine)})"
+                )
+            del st.active[machine]
+            st.locked_partitions.difference_update((bucket.lhs, bucket.rhs))
+            st.initialized_partitions.update((bucket.lhs, bucket.rhs))
+            st.done_any = True
+            self._prev[machine] = bucket
+
+    def remaining_count(self) -> int:
+        with self._lock:
+            return len(self._state.remaining)
+
+    def epoch_done(self) -> bool:
+        with self._lock:
+            return not self._state.remaining and not self._state.active
+
+    # Per-machine previous bucket, for affinity (outside _State because
+    # it survives epoch resets).
+    @property
+    def _prev(self) -> "dict[int, Bucket]":
+        if not hasattr(self, "_prev_buckets"):
+            self._prev_buckets: dict[int, Bucket] = {}
+        return self._prev_buckets

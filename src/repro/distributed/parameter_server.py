@@ -1,0 +1,155 @@
+"""Sharded asynchronous parameter server for shared parameters.
+
+Relation operators, unpartitioned entity types and feature tables are
+global: every machine needs them at every step. PBG synchronises them
+asynchronously — each trainer runs a background thread that pushes
+accumulated local *deltas* and pulls fresh values, throttled to spare
+bandwidth (paper Section 4.2). Convergence tolerates the staleness
+because these parameters are few and receive dense, small gradients.
+
+The server applies pushed deltas additively, which makes concurrent
+updates from multiple machines commutative (a standard async-SGD
+parameter-server semantics).
+
+:class:`SharedParameterClient` packages the per-trainer sync protocol:
+``maybe_sync`` is called every batch; every ``sync_interval`` batches it
+pushes ``local - base`` and pulls, setting ``base`` to the new server
+value. Tests drive it synchronously; the cluster trainer calls it from
+each machine's training loop (the paper uses a dedicated thread — the
+effect on parameter staleness is the same, a bounded number of batches
+between syncs).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParameterServer", "SharedParameterClient", "ParameterServerStats"]
+
+
+@dataclass
+class ParameterServerStats:
+    pulls: int = 0
+    pushes: int = 0
+    bytes_transferred: int = 0
+
+
+class ParameterServer:
+    """In-memory sharded key-value store with additive delta pushes.
+
+    Sharding is by hash of the parameter name across ``num_shards``
+    locks, mirroring PBG's sharding of the parameter server across
+    machines; with in-process transport this matters only for lock
+    contention, but the stats expose per-shard placement for the
+    memory model.
+    """
+
+    def __init__(self, num_shards: int = 1) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._locks = [threading.Lock() for _ in range(num_shards)]
+        self._stores: "list[dict[str, np.ndarray]]" = [
+            {} for _ in range(num_shards)
+        ]
+        self.stats = ParameterServerStats()
+        self._stats_lock = threading.Lock()
+
+    def _shard_id(self, name: str) -> int:
+        return hash(name) % len(self._locks)
+
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, value: np.ndarray) -> None:
+        """Idempotently seed a parameter (first writer wins)."""
+        sid = self._shard_id(name)
+        with self._locks[sid]:
+            if name not in self._stores[sid]:
+                self._stores[sid][name] = np.array(value, copy=True)
+
+    def pull(self, name: str) -> np.ndarray:
+        """Fetch a copy of the current value."""
+        sid = self._shard_id(name)
+        with self._locks[sid]:
+            value = np.array(self._stores[sid][name], copy=True)
+        with self._stats_lock:
+            self.stats.pulls += 1
+            self.stats.bytes_transferred += value.nbytes
+        return value
+
+    def push_delta(self, name: str, delta: np.ndarray) -> None:
+        """Additively apply a local delta."""
+        sid = self._shard_id(name)
+        with self._locks[sid]:
+            self._stores[sid][name] += delta
+        with self._stats_lock:
+            self.stats.pushes += 1
+            self.stats.bytes_transferred += delta.nbytes
+
+    def names(self) -> "list[str]":
+        out = []
+        for lock, store in zip(self._locks, self._stores):
+            with lock:
+                out.extend(store)
+        return sorted(out)
+
+
+class SharedParameterClient:
+    """Per-trainer throttled synchronisation of shared parameters.
+
+    Parameters
+    ----------
+    server:
+        The shared :class:`ParameterServer`.
+    get_params / set_params:
+        Callbacks into the local model (snapshot / overwrite of the
+        shared-parameter dict).
+    sync_interval:
+        Number of ``maybe_sync`` calls (batches) between syncs — the
+        throttle of Section 4.2.
+    """
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        get_params,
+        set_params,
+        sync_interval: int = 10,
+    ) -> None:
+        if sync_interval < 1:
+            raise ValueError("sync_interval must be >= 1")
+        self.server = server
+        self.get_params = get_params
+        self.set_params = set_params
+        self.sync_interval = sync_interval
+        self._counter = 0
+        self._base: "dict[str, np.ndarray]" = {}
+        self.syncs = 0
+
+    def initial_sync(self) -> None:
+        """Register local values, then adopt the server's state."""
+        local = self.get_params()
+        for name, value in local.items():
+            self.server.register(name, value)
+        pulled = {name: self.server.pull(name) for name in local}
+        self.set_params(pulled)
+        self._base = {k: v.copy() for k, v in pulled.items()}
+
+    def maybe_sync(self, force: bool = False) -> bool:
+        """Push local deltas and pull fresh values every Nth call."""
+        self._counter += 1
+        if not force and self._counter % self.sync_interval:
+            return False
+        local = self.get_params()
+        pulled = {}
+        for name, value in local.items():
+            delta = value - self._base[name]
+            if np.any(delta):
+                self.server.push_delta(name, delta)
+            pulled[name] = self.server.pull(name)
+        self.set_params(pulled)
+        self._base = {k: v.copy() for k, v in pulled.items()}
+        self.syncs += 1
+        return True

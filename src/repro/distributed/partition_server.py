@@ -1,0 +1,144 @@
+"""Sharded partition server (paper Section 4.2, Figure 2).
+
+Partitioned embeddings not currently being trained live in a partition
+server sharded across the ``N`` training machines; a trainer fetches
+the (often multi-GB) source and destination partitions of its next
+bucket and pushes back the partitions it no longer needs.
+
+In this simulation, shards are per-machine in-memory stores behind
+locks, and every get/put deep-copies its arrays — machines therefore
+never alias each other's parameters, so transfer semantics (and an
+optional bandwidth model that converts bytes into sleep time) are
+faithful; only the wire is missing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PartitionServer", "PartitionServerStats"]
+
+
+@dataclass
+class PartitionServerStats:
+    """Transfer counters, per server."""
+
+    gets: int = 0
+    puts: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    simulated_transfer_seconds: float = 0.0
+
+
+@dataclass
+class _Shard:
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    store: "dict[tuple[str, int], tuple[np.ndarray, np.ndarray]]" = field(
+        default_factory=dict
+    )
+
+
+class PartitionServer:
+    """Key-value store of partitions, sharded by partition index.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of hosting machines; partition ``p`` of any entity type
+        lives on shard ``p % num_shards``.
+    bandwidth_bytes_per_s:
+        Optional simulated network bandwidth; each transfer sleeps
+        ``nbytes / bandwidth``. ``None`` disables the delay (the
+        default for tests and fast benchmarks).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        bandwidth_bytes_per_s: float | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._shards = [_Shard() for _ in range(num_shards)]
+        self.bandwidth = bandwidth_bytes_per_s
+        self.stats = PartitionServerStats()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def _shard(self, part: int) -> _Shard:
+        return self._shards[part % len(self._shards)]
+
+    def _account(self, nbytes: int, sent: bool) -> None:
+        delay = nbytes / self.bandwidth if self.bandwidth else 0.0
+        with self._stats_lock:
+            if sent:
+                self.stats.gets += 1
+                self.stats.bytes_sent += nbytes
+            else:
+                self.stats.puts += 1
+                self.stats.bytes_received += nbytes
+            self.stats.simulated_transfer_seconds += delay
+        if delay:
+            time.sleep(delay)
+
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        entity_type: str,
+        part: int,
+        embeddings: np.ndarray,
+        optim_state: np.ndarray,
+    ) -> None:
+        """Store a partition (the server keeps its own copy)."""
+        emb = np.array(embeddings, copy=True)
+        state = np.array(optim_state, copy=True)
+        shard = self._shard(part)
+        with shard.lock:
+            shard.store[(entity_type, part)] = (emb, state)
+        self._account(emb.nbytes + state.nbytes, sent=False)
+
+    def get(
+        self, entity_type: str, part: int
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Fetch a partition copy; None if never stored."""
+        shard = self._shard(part)
+        with shard.lock:
+            entry = shard.store.get((entity_type, part))
+            if entry is None:
+                return None
+            emb, state = np.array(entry[0], copy=True), np.array(
+                entry[1], copy=True
+            )
+        self._account(emb.nbytes + state.nbytes, sent=True)
+        return emb, state
+
+    def has(self, entity_type: str, part: int) -> bool:
+        shard = self._shard(part)
+        with shard.lock:
+            return (entity_type, part) in shard.store
+
+    def keys(self) -> "list[tuple[str, int]]":
+        out = []
+        for shard in self._shards:
+            with shard.lock:
+                out.extend(shard.store)
+        return sorted(out)
+
+    def shard_nbytes(self) -> "list[int]":
+        """Bytes hosted per shard — the memory each machine contributes."""
+        sizes = []
+        for shard in self._shards:
+            with shard.lock:
+                sizes.append(
+                    sum(
+                        e.nbytes + s.nbytes
+                        for e, s in shard.store.values()
+                    )
+                )
+        return sizes

@@ -1,0 +1,34 @@
+"""Evaluation harnesses.
+
+- :mod:`~repro.eval.ranking` — link-prediction ranking metrics (MR,
+  MRR, Hits@K), raw and filtered, against all entities (FB15k
+  protocol) or sampled candidate pools (full-Freebase protocol).
+- :mod:`~repro.eval.classification` — node classification with
+  one-vs-rest logistic regression on embedding features (YouTube
+  protocol), micro/macro F1.
+- :mod:`~repro.eval.learning_curve` — record metric-vs-epoch/time
+  curves during training (Figures 5–7).
+"""
+
+from repro.eval.ranking import (
+    RankingMetrics,
+    LinkPredictionEvaluator,
+    ranks_to_metrics,
+)
+from repro.eval.classification import (
+    LogisticRegressionOvR,
+    f1_scores,
+    multilabel_cross_validation,
+)
+from repro.eval.learning_curve import LearningCurve, CurvePoint
+
+__all__ = [
+    "RankingMetrics",
+    "LinkPredictionEvaluator",
+    "ranks_to_metrics",
+    "LogisticRegressionOvR",
+    "f1_scores",
+    "multilabel_cross_validation",
+    "LearningCurve",
+    "CurvePoint",
+]

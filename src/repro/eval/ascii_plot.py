@@ -1,0 +1,67 @@
+"""ASCII rendering of learning curves (terminal "figures").
+
+The benchmark harness reproduces the paper's figures as data series; in
+a terminal-only environment a coarse character plot makes the *shape*
+of a figure — crossovers, plateaus, relative slopes — visible at a
+glance in ``bench_output.txt`` without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: "dict[str, list[tuple[float, float]]]",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as a character grid.
+
+    Each series gets a marker from ``oX+*…`` (legend appended).
+    Points falling on the same cell show the marker of the
+    latest-plotted series. Returns a multi-line string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in pts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    for r, row in enumerate(grid):
+        y_val = y_hi - r * y_span / (height - 1)
+        prefix = f"{y_val:9.3f} |" if r % 4 == 0 or r == height - 1 else " " * 9 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:<10.1f}{x_label:^{max(width - 20, 4)}}{x_hi:>10.1f}"
+    )
+    lines.append(" " * 10 + f"[y: {y_label}]   " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Graph substrate: edge lists, entity bookkeeping, partitioning, buckets.
+
+This package provides the storage layer underneath the PBG training loop:
+
+- :class:`~repro.graph.edgelist.EdgeList` — columnar (src, rel, dst)
+  storage with optional per-edge weights.
+- :class:`~repro.graph.entity_storage.EntityStorage` — entity counts and
+  partition assignments per entity type.
+- :mod:`~repro.graph.partitioning` — entity partitioning and edge
+  bucketing (the paper's block decomposition, Figure 1).
+- :mod:`~repro.graph.buckets` — bucket iteration orders, including the
+  'inside-out' order from Figure 1.
+- :mod:`~repro.graph.storage` — on-disk partition / checkpoint storage
+  used to swap embeddings when the model exceeds memory.
+"""
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import (
+    BucketedEdges,
+    bucket_edges,
+    partition_entities,
+)
+from repro.graph.buckets import (
+    Bucket,
+    bucket_order,
+    chained_order,
+    inside_out_order,
+    outside_in_order,
+    random_order,
+    check_seen_partition_invariant,
+)
+from repro.graph.storage import (
+    CheckpointStorage,
+    PartitionedEmbeddingStorage,
+)
+
+__all__ = [
+    "EdgeList",
+    "EntityStorage",
+    "BucketedEdges",
+    "bucket_edges",
+    "partition_entities",
+    "Bucket",
+    "bucket_order",
+    "inside_out_order",
+    "outside_in_order",
+    "chained_order",
+    "random_order",
+    "check_seen_partition_invariant",
+    "CheckpointStorage",
+    "PartitionedEmbeddingStorage",
+]

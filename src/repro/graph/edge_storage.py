@@ -1,0 +1,116 @@
+"""On-disk storage for bucketed edges.
+
+In the paper's distributed mode "edges are then loaded from a shared
+filesystem" (Figure 2) — the full edge list of a large graph does not
+live in trainer memory; each bucket's edges are a separate file read
+when the bucket is trained. This module provides that layer: persist a
+:class:`~repro.graph.partitioning.BucketedEdges` to a directory of
+per-bucket ``.npz`` files, and reload single buckets (or a lazy view
+that fetches buckets on demand).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.partitioning import BucketedEdges
+
+__all__ = ["BucketedEdgeStorage", "LazyBucketedEdges"]
+
+
+class BucketedEdgeStorage:
+    """Directory of per-bucket edge files.
+
+    Layout: ``{root}/bucket-{lhs:04d}-{rhs:04d}.npz`` plus a
+    ``grid.json`` recording the grid dimensions.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, lhs: int, rhs: int) -> Path:
+        return self.root / f"bucket-{lhs:04d}-{rhs:04d}.npz"
+
+    # ------------------------------------------------------------------
+
+    def save(self, bucketed: BucketedEdges) -> None:
+        """Write every non-empty bucket and the grid metadata."""
+        (self.root / "grid.json").write_text(
+            json.dumps(
+                {
+                    "nparts_lhs": bucketed.nparts_lhs,
+                    "nparts_rhs": bucketed.nparts_rhs,
+                }
+            )
+        )
+        for (lhs, rhs), edges in bucketed.buckets.items():
+            if not len(edges):
+                continue
+            arrays = {
+                "src": edges.src, "rel": edges.rel, "dst": edges.dst,
+            }
+            if edges.weights is not None:
+                arrays["weights"] = edges.weights
+            np.savez(self._path(lhs, rhs), **arrays)
+
+    def load_bucket(self, lhs: int, rhs: int) -> EdgeList:
+        """Read one bucket (empty EdgeList if the file is absent)."""
+        path = self._path(lhs, rhs)
+        if not path.exists():
+            return EdgeList.empty()
+        with np.load(path) as data:
+            weights = data["weights"] if "weights" in data.files else None
+            return EdgeList(data["src"], data["rel"], data["dst"], weights)
+
+    def grid(self) -> tuple[int, int]:
+        """(nparts_lhs, nparts_rhs) recorded at save time."""
+        meta = json.loads((self.root / "grid.json").read_text())
+        return int(meta["nparts_lhs"]), int(meta["nparts_rhs"])
+
+    def load_lazy(self) -> "LazyBucketedEdges":
+        """A BucketedEdges-compatible view reading buckets on demand."""
+        nl, nr = self.grid()
+        return LazyBucketedEdges(self, nl, nr)
+
+    def stored_buckets(self) -> "list[tuple[int, int]]":
+        out = []
+        for p in self.root.glob("bucket-*.npz"):
+            _, lhs, rhs = p.stem.split("-")
+            out.append((int(lhs), int(rhs)))
+        return sorted(out)
+
+    def nbytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("bucket-*.npz"))
+
+
+class LazyBucketedEdges:
+    """Duck-typed :class:`BucketedEdges` that streams from disk.
+
+    Only the bucket currently being trained is materialised — the
+    trainer's ``edges_for`` call reads one file. Memory for edges stays
+    O(largest bucket) instead of O(graph).
+    """
+
+    def __init__(
+        self, storage: BucketedEdgeStorage, nparts_lhs: int, nparts_rhs: int
+    ) -> None:
+        self._storage = storage
+        self.nparts_lhs = nparts_lhs
+        self.nparts_rhs = nparts_rhs
+
+    def edges_for(self, bucket: tuple[int, int]) -> EdgeList:
+        return self._storage.load_bucket(bucket[0], bucket[1])
+
+    def nonempty_buckets(self) -> "list[tuple[int, int]]":
+        return self._storage.stored_buckets()
+
+    def num_edges(self) -> int:
+        return sum(
+            len(self._storage.load_bucket(lhs, rhs))
+            for lhs, rhs in self._storage.stored_buckets()
+        )

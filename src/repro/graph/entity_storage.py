@@ -1,0 +1,131 @@
+"""Entity bookkeeping: counts and partition assignments per entity type.
+
+Each entity type in the graph has a contiguous id space ``[0, count)``.
+Partitioned types additionally carry a partition assignment for every
+entity plus the permutation that maps global ids to (partition, offset)
+pairs — the coordinate system used by partitioned training (paper
+Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EntityStorage", "TypePartitioning"]
+
+
+@dataclass(frozen=True)
+class TypePartitioning:
+    """Partition layout of one entity type.
+
+    Attributes
+    ----------
+    part_of:
+        ``part_of[i]`` is the partition of global entity ``i``.
+    offset_of:
+        ``offset_of[i]`` is the row of entity ``i`` inside its
+        partition's embedding matrix.
+    part_sizes:
+        Number of entities per partition.
+    global_of:
+        ``global_of[p][j]`` is the global id of row ``j`` of partition
+        ``p`` (inverse of the ``(part_of, offset_of)`` map).
+    """
+
+    part_of: np.ndarray
+    offset_of: np.ndarray
+    part_sizes: np.ndarray
+    global_of: tuple[np.ndarray, ...]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.part_sizes)
+
+    def to_local(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map global ids to (partition, offset) arrays."""
+        return self.part_of[ids], self.offset_of[ids]
+
+    def to_global(self, part: int, offsets: np.ndarray) -> np.ndarray:
+        """Map partition-local offsets back to global ids."""
+        return self.global_of[part][offsets]
+
+
+class EntityStorage:
+    """Counts and partitionings for all entity types of a graph.
+
+    Parameters
+    ----------
+    counts:
+        Mapping from entity-type name to number of entities.
+    """
+
+    def __init__(self, counts: "dict[str, int]") -> None:
+        if not counts:
+            raise ValueError("at least one entity type is required")
+        for name, count in counts.items():
+            if count < 1:
+                raise ValueError(
+                    f"entity type {name!r} must have >= 1 entities, got {count}"
+                )
+        self._counts = dict(counts)
+        self._partitionings: dict[str, TypePartitioning] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def types(self) -> "list[str]":
+        return list(self._counts)
+
+    def count(self, entity_type: str) -> int:
+        """Number of entities of ``entity_type``."""
+        return self._counts[entity_type]
+
+    def __contains__(self, entity_type: str) -> bool:
+        return entity_type in self._counts
+
+    def __repr__(self) -> str:
+        return f"EntityStorage({self._counts})"
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+
+    def set_partitioning(
+        self, entity_type: str, partitioning: TypePartitioning
+    ) -> None:
+        """Attach a partition layout (see :func:`partition_entities`)."""
+        if entity_type not in self._counts:
+            raise KeyError(f"unknown entity type {entity_type!r}")
+        if len(partitioning.part_of) != self._counts[entity_type]:
+            raise ValueError(
+                f"partitioning covers {len(partitioning.part_of)} entities "
+                f"but type {entity_type!r} has {self._counts[entity_type]}"
+            )
+        self._partitionings[entity_type] = partitioning
+
+    def partitioning(self, entity_type: str) -> TypePartitioning:
+        """The partition layout of ``entity_type`` (identity if unset)."""
+        if entity_type not in self._partitionings:
+            self._partitionings[entity_type] = _identity_partitioning(
+                self._counts[entity_type]
+            )
+        return self._partitionings[entity_type]
+
+    def num_partitions(self, entity_type: str) -> int:
+        return self.partitioning(entity_type).num_partitions
+
+    def part_size(self, entity_type: str, part: int) -> int:
+        return int(self.partitioning(entity_type).part_sizes[part])
+
+
+def _identity_partitioning(count: int) -> TypePartitioning:
+    """Single-partition layout: global ids are partition offsets."""
+    ids = np.arange(count, dtype=np.int64)
+    return TypePartitioning(
+        part_of=np.zeros(count, dtype=np.int64),
+        offset_of=ids,
+        part_sizes=np.asarray([count], dtype=np.int64),
+        global_of=(ids,),
+    )

@@ -1,0 +1,151 @@
+"""Entity partitioning and edge bucketing (the block decomposition).
+
+The paper (Section 4.1, Figure 1) splits each partitioned entity type
+uniformly into ``P`` parts sized to fit in memory, then divides edges
+into buckets ``(part(src), part(dst))``. Training iterates bucket by
+bucket, holding only two partitions' embeddings in RAM at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ConfigSchema
+from repro.graph.edgelist import EdgeList
+from repro.graph.entity_storage import EntityStorage, TypePartitioning
+
+__all__ = ["partition_entities", "bucket_edges", "BucketedEdges"]
+
+
+def partition_entities(
+    count: int, num_partitions: int, rng: np.random.Generator
+) -> TypePartitioning:
+    """Uniformly partition ``count`` entities into ``num_partitions`` parts.
+
+    Entities are assigned by a random permutation so each part holds
+    ``count / P`` entities up to rounding (the paper partitions Freebase
+    nodes "uniformly"). Randomisation matters: contiguous id ranges would
+    correlate with dataset ordering (e.g. crawl order) and skew buckets.
+    """
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    if num_partitions > count:
+        raise ValueError(
+            f"cannot split {count} entities into {num_partitions} partitions"
+        )
+    # A single partition keeps the identity layout: offsets are global
+    # ids, which makes unpartitioned training transparent to debug.
+    perm = (
+        np.arange(count)
+        if num_partitions == 1
+        else rng.permutation(count)
+    )
+    # Balanced sizes: first (count % P) parts get one extra entity.
+    base, extra = divmod(count, num_partitions)
+    part_sizes = np.full(num_partitions, base, dtype=np.int64)
+    part_sizes[:extra] += 1
+    bounds = np.concatenate([[0], np.cumsum(part_sizes)])
+
+    part_of = np.empty(count, dtype=np.int64)
+    offset_of = np.empty(count, dtype=np.int64)
+    global_of = []
+    for p in range(num_partitions):
+        members = perm[bounds[p] : bounds[p + 1]]
+        part_of[members] = p
+        offset_of[members] = np.arange(len(members), dtype=np.int64)
+        global_of.append(np.ascontiguousarray(members))
+    return TypePartitioning(
+        part_of=part_of,
+        offset_of=offset_of,
+        part_sizes=part_sizes,
+        global_of=tuple(global_of),
+    )
+
+
+@dataclass
+class BucketedEdges:
+    """Edges grouped into partition buckets.
+
+    Attributes
+    ----------
+    buckets:
+        Mapping ``(lhs_part, rhs_part) -> EdgeList`` where the edge
+        endpoints have been rewritten to *partition-local offsets*.
+    nparts_lhs, nparts_rhs:
+        Grid dimensions. ``nparts_rhs == 1`` corresponds to the paper's
+        Figure 1 (centre): only source entities partitioned, ``P``
+        buckets.
+    """
+
+    buckets: "dict[tuple[int, int], EdgeList]"
+    nparts_lhs: int
+    nparts_rhs: int
+
+    def num_edges(self) -> int:
+        return sum(len(e) for e in self.buckets.values())
+
+    def nonempty_buckets(self) -> "list[tuple[int, int]]":
+        return [b for b, e in self.buckets.items() if len(e)]
+
+    def edges_for(self, bucket: tuple[int, int]) -> EdgeList:
+        return self.buckets.get(bucket, EdgeList.empty())
+
+
+def bucket_edges(
+    edges: EdgeList,
+    config: ConfigSchema,
+    entities: EntityStorage,
+) -> BucketedEdges:
+    """Assign every edge to its ``(part(src), part(dst))`` bucket.
+
+    Endpoint ids in the returned buckets are partition-local offsets, so
+    a trainer holding the two partitions' embedding matrices can index
+    them directly.
+
+    Partitioned entity types must all use the same partition count
+    ``P`` (the paper's single grid); unpartitioned types are fine on
+    either side — edges whose endpoint type is unpartitioned land in
+    partition 0 of that grid axis, since the type is always resident.
+    """
+    lhs_parts = {entities.num_partitions(r.lhs) for r in config.relations}
+    rhs_parts = {entities.num_partitions(r.rhs) for r in config.relations}
+    multi = (lhs_parts | rhs_parts) - {1}
+    if len(multi) > 1:
+        raise ValueError(
+            "all partitioned entity types must share one partition "
+            f"count; got {sorted(multi)}"
+        )
+    nparts_lhs = max(lhs_parts)
+    nparts_rhs = max(rhs_parts)
+
+    # Per-relation lookups (relations may use different entity types).
+    rel_lhs = [config.relations[i].lhs for i in range(len(config.relations))]
+    rel_rhs = [config.relations[i].rhs for i in range(len(config.relations))]
+
+    src_part = np.empty(len(edges), dtype=np.int64)
+    src_off = np.empty(len(edges), dtype=np.int64)
+    dst_part = np.empty(len(edges), dtype=np.int64)
+    dst_off = np.empty(len(edges), dtype=np.int64)
+    for rid in np.unique(edges.rel) if len(edges) else []:
+        mask = edges.rel == rid
+        lp = entities.partitioning(rel_lhs[int(rid)])
+        rp = entities.partitioning(rel_rhs[int(rid)])
+        src_part[mask], src_off[mask] = lp.to_local(edges.src[mask])
+        dst_part[mask], dst_off[mask] = rp.to_local(edges.dst[mask])
+
+    buckets: dict[tuple[int, int], EdgeList] = {}
+    if len(edges):
+        key = src_part * nparts_rhs + dst_part
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        uniq, starts = np.unique(sorted_key, return_index=True)
+        bounds = list(starts[1:]) + [len(edges)]
+        for k, lo, hi in zip(uniq, starts, bounds):
+            idx = order[lo:hi]
+            weights = edges.weights[idx] if edges.weights is not None else None
+            buckets[(int(k) // nparts_rhs, int(k) % nparts_rhs)] = EdgeList(
+                src_off[idx], edges.rel[idx], dst_off[idx], weights
+            )
+    return BucketedEdges(buckets, nparts_lhs, nparts_rhs)

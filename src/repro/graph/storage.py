@@ -1,0 +1,180 @@
+"""On-disk storage for partitioned embeddings and checkpoints.
+
+When a model exceeds memory, PBG keeps only the two partitions of the
+current bucket in RAM and swaps the rest to disk (paper Section 4.1);
+model checkpoints go to a shared filesystem in distributed mode
+(Figure 2). Both paths are implemented here on top of ``.npz`` files
+with atomic write-then-rename semantics, so a crash mid-write never
+corrupts an existing partition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["PartitionedEmbeddingStorage", "CheckpointStorage", "StorageError"]
+
+
+class StorageError(RuntimeError):
+    """Raised when stored data is missing or corrupt."""
+
+
+def _atomic_savez(path: Path, **arrays: np.ndarray) -> None:
+    """Write an ``.npz`` atomically (tmp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class PartitionedEmbeddingStorage:
+    """Disk store for per-partition embeddings + optimizer state.
+
+    Layout: ``{root}/{entity_type}/part-{p:05d}.npz`` holding arrays
+    ``embeddings`` (n x d float32) and ``optim_state`` (the row-Adagrad
+    accumulator, one float per row).
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, entity_type: str, part: int) -> Path:
+        return self.root / entity_type / f"part-{part:05d}.npz"
+
+    def save(
+        self,
+        entity_type: str,
+        part: int,
+        embeddings: np.ndarray,
+        optim_state: np.ndarray,
+    ) -> None:
+        """Persist one partition (atomically)."""
+        if len(embeddings) != len(optim_state):
+            raise ValueError(
+                "embeddings and optimizer state must have matching rows"
+            )
+        _atomic_savez(
+            self._path(entity_type, part),
+            embeddings=np.ascontiguousarray(embeddings, dtype=np.float32),
+            optim_state=np.ascontiguousarray(optim_state, dtype=np.float32),
+        )
+
+    def load(
+        self, entity_type: str, part: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Load one partition; raises :class:`StorageError` if absent/corrupt."""
+        path = self._path(entity_type, part)
+        if not path.exists():
+            raise StorageError(f"no stored partition at {path}")
+        try:
+            with np.load(path) as data:
+                return data["embeddings"], data["optim_state"]
+        except (OSError, KeyError, ValueError) as exc:
+            raise StorageError(f"corrupt partition file {path}: {exc}") from exc
+
+    def exists(self, entity_type: str, part: int) -> bool:
+        return self._path(entity_type, part).exists()
+
+    def drop(self, entity_type: str, part: int) -> None:
+        """Delete one stored partition if present."""
+        path = self._path(entity_type, part)
+        if path.exists():
+            path.unlink()
+
+    def stored_partitions(self, entity_type: str) -> "list[int]":
+        """Sorted partition indices present on disk for ``entity_type``."""
+        type_dir = self.root / entity_type
+        if not type_dir.exists():
+            return []
+        parts = []
+        for p in type_dir.glob("part-*.npz"):
+            try:
+                parts.append(int(p.stem.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(parts)
+
+    def nbytes(self) -> int:
+        """Total bytes of stored partition files."""
+        return sum(
+            p.stat().st_size for p in self.root.rglob("part-*.npz")
+        )
+
+
+class CheckpointStorage:
+    """Whole-model checkpoints: config + shared params + partitions.
+
+    Layout under ``{root}/``:
+
+    - ``config.json`` — the serialized :class:`~repro.config.ConfigSchema`
+    - ``metadata.json`` — epoch number and user metadata
+    - ``shared.npz`` — relation operator parameters and other globals
+    - ``embeddings/`` — a :class:`PartitionedEmbeddingStorage`
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.partitions = PartitionedEmbeddingStorage(self.root / "embeddings")
+
+    # -- config -------------------------------------------------------
+
+    def save_config(self, config_json: str) -> None:
+        path = self.root / "config.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(config_json)
+        os.replace(tmp, path)
+
+    def load_config(self) -> str:
+        path = self.root / "config.json"
+        if not path.exists():
+            raise StorageError(f"no config at {path}")
+        return path.read_text()
+
+    # -- metadata -----------------------------------------------------
+
+    def save_metadata(self, metadata: dict) -> None:
+        path = self.root / "metadata.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(metadata, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+
+    def load_metadata(self) -> dict:
+        path = self.root / "metadata.json"
+        if not path.exists():
+            raise StorageError(f"no metadata at {path}")
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt metadata at {path}: {exc}") from exc
+
+    # -- shared parameters ---------------------------------------------
+
+    def save_shared(self, arrays: "dict[str, np.ndarray]") -> None:
+        """Persist shared (non-partitioned) parameters."""
+        _atomic_savez(self.root / "shared.npz", **arrays)
+
+    def load_shared(self) -> "dict[str, np.ndarray]":
+        path = self.root / "shared.npz"
+        if not path.exists():
+            raise StorageError(f"no shared parameters at {path}")
+        try:
+            with np.load(path) as data:
+                return {k: data[k] for k in data.files}
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"corrupt shared file {path}: {exc}") from exc
+
+    def exists(self) -> bool:
+        return (self.root / "config.json").exists()

@@ -1,0 +1,5 @@
+"""Resource accounting: the memory model behind Tables 1, 3 and 4."""
+
+from repro.stats.memory import MemoryModel, measure_peak_tracemalloc
+
+__all__ = ["MemoryModel", "measure_peak_tracemalloc"]

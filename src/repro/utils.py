@@ -1,0 +1,22 @@
+"""Small shared numeric utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_from_cdf"]
+
+
+def sample_from_cdf(
+    cdf: np.ndarray, size, rng: np.random.Generator
+) -> np.ndarray:
+    """Inverse-CDF sampling with the float edge case guarded.
+
+    ``cdf`` is a non-decreasing array ending at ~1.0. Rounding can make
+    ``cdf[-1]`` slightly below a drawn uniform, in which case
+    searchsorted would return ``len(cdf)``; indices are clipped into
+    range.
+    """
+    u = rng.random(size)
+    idx = np.searchsorted(cdf, u).astype(np.int64)
+    return np.minimum(idx, len(cdf) - 1)

@@ -1,0 +1,93 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import social_network, twitter_like
+from repro.graph.analysis import gini, power_law_exponent, summarize
+from repro.graph.edgelist import EdgeList
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        v = np.zeros(1000)
+        v[0] = 100.0
+        assert gini(v) > 0.99
+
+    def test_known_value(self):
+        # Two people: one has everything → gini = 1/2 for n=2.
+        assert gini(np.asarray([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_zero_total(self):
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini(np.empty(0))
+        with pytest.raises(ValueError):
+            gini(np.asarray([-1.0, 2.0]))
+
+
+class TestPowerLawExponent:
+    def test_recovers_planted_exponent(self):
+        """Degrees sampled from a discrete Pareto(α) give back ≈ α."""
+        rng = np.random.default_rng(0)
+        alpha = 2.5
+        u = rng.random(200_000)
+        degrees = np.floor((1 - u) ** (-1 / (alpha - 1))).astype(int)
+        # The continuous-tail approximation is accurate for larger d_min.
+        est = power_law_exponent(degrees, d_min=10)
+        assert est == pytest.approx(alpha, abs=0.35)
+
+    def test_regular_graph_finite_and_large(self):
+        # A degenerate all-equal sample still yields a finite estimate.
+        est = power_law_exponent(np.full(10, 1), d_min=1)
+        assert np.isfinite(est) and est > 1
+
+    def test_empty_sample(self):
+        with pytest.raises(ValueError):
+            power_law_exponent(np.asarray([0, 0]), d_min=1)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        edges = EdgeList.from_tuples(
+            [(0, 0, 1), (1, 0, 0), (1, 1, 2), (2, 0, 0)]
+        )
+        s = summarize(edges, num_nodes=4)
+        assert s.num_edges == 4
+        assert s.num_relations == 2
+        assert s.num_active_nodes == 3
+        # (0,1) and (1,0) reciprocated; 2/4 distinct pairs reciprocal.
+        assert s.reciprocity == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(EdgeList.empty(), 10)
+
+    def test_social_generator_is_heavy_tailed(self):
+        """Synthetic social graphs must show the statistics the paper's
+        datasets have: skewed in-degree, finite power-law exponent."""
+        g = social_network(3000, 40_000, popularity_exponent=1.0, seed=0)
+        s = summarize(g.edges, g.num_nodes)
+        assert s.in_degree_gini > 0.3
+        assert 1.2 < s.in_degree_exponent < 5.0
+        assert s.max_in_degree > 20 * s.mean_out_degree
+
+    def test_reciprocity_ordering_matches_presets(self):
+        """LiveJournal-like graphs are far more reciprocal than
+        Twitter-like ones (friendships vs follows)."""
+        from repro.datasets import livejournal_like
+
+        lj = livejournal_like(num_nodes=2000, seed=0)
+        tw = twitter_like(num_nodes=2000, seed=0)
+        s_lj = summarize(lj.edges, lj.num_nodes)
+        s_tw = summarize(tw.edges, tw.num_nodes)
+        assert s_lj.reciprocity > 1.3 * s_tw.reciprocity
+
+    def test_str(self):
+        g = social_network(500, 3000, seed=1)
+        assert "edges" in str(summarize(g.edges, g.num_nodes))

@@ -1,0 +1,49 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.eval.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_single_series_renders(self):
+        out = ascii_plot(
+            {"a": [(0, 0.0), (1, 0.5), (2, 1.0)]},
+            width=20, height=8, x_label="epoch", y_label="mrr",
+        )
+        assert "o = a" in out
+        assert out.count("o") >= 3 + 1  # three points + legend
+        assert "epoch" in out and "mrr" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot(
+            {"pbg": [(0, 1.0)], "deepwalk": [(0, 0.5)]},
+            width=16, height=6,
+        )
+        assert "o = pbg" in out and "x = deepwalk" in out
+
+    def test_extremes_on_grid(self):
+        """Min/max points land on the first/last columns."""
+        out = ascii_plot({"s": [(0, 0), (10, 1)]}, width=12, height=6)
+        lines = out.splitlines()
+        top = lines[0]
+        assert top.rstrip().endswith("o")  # max y, max x → top right
+
+    def test_constant_series_safe(self):
+        out = ascii_plot({"flat": [(0, 0.5), (1, 0.5)]}, width=10, height=5)
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 0)]}, width=2, height=2)
+
+    def test_nonfinite_points_skipped(self):
+        out = ascii_plot(
+            {"a": [(0, 0.0), (1, float("nan")), (2, 1.0)]},
+            width=12, height=5,
+        )
+        assert "o" in out

@@ -1,0 +1,246 @@
+"""Tests for the DeepWalk and MILE baselines."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.adapter import embeddings_to_model
+from repro.baselines.deepwalk import DeepWalk, build_adjacency, random_walks
+from repro.baselines.mile import MILE, coarsen_graph, heavy_edge_matching
+from repro.eval.ranking import LinkPredictionEvaluator
+from repro.graph.edgelist import EdgeList
+
+
+def _two_cliques(k=15):
+    """Two dense cliques joined by one bridge edge."""
+    edges = []
+    for a in range(k):
+        for b in range(a + 1, k):
+            edges.append((a, 0, b))
+            edges.append((a + k, 0, b + k))
+    edges.append((0, 0, k))
+    return EdgeList.from_tuples(edges), 2 * k
+
+
+class TestBuildAdjacency:
+    def test_symmetrised(self):
+        edges = EdgeList.from_tuples([(0, 0, 1)])
+        adj = build_adjacency(edges, 3)
+        assert adj[0, 1] == 1 and adj[1, 0] == 1
+
+    def test_directed(self):
+        edges = EdgeList.from_tuples([(0, 0, 1)])
+        adj = build_adjacency(edges, 3, undirected=False)
+        assert adj[0, 1] == 1 and adj[1, 0] == 0
+
+    def test_duplicate_edges_weighted(self):
+        edges = EdgeList.from_tuples([(0, 0, 1), (0, 0, 1)])
+        adj = build_adjacency(edges, 2)
+        assert adj[0, 1] == 2
+
+
+class TestRandomWalks:
+    def test_shape_and_validity(self):
+        edges, n = _two_cliques()
+        adj = build_adjacency(edges, n)
+        starts = np.arange(n, dtype=np.int64)
+        walks = random_walks(adj, 10, starts, np.random.default_rng(0))
+        assert walks.shape == (n, 11)
+        np.testing.assert_array_equal(walks[:, 0], starts)
+        # Every step is a real neighbour (or a sink absorption).
+        for i in range(n):
+            for t in range(10):
+                u, v = walks[i, t], walks[i, t + 1]
+                assert adj[u, v] > 0 or u == v
+
+    def test_walks_stay_in_communities(self):
+        """Walks from clique A rarely reach clique B (one bridge)."""
+        edges, n = _two_cliques()
+        adj = build_adjacency(edges, n)
+        starts = np.full(200, 1, dtype=np.int64)  # node in clique A
+        walks = random_walks(adj, 5, starts, np.random.default_rng(1))
+        frac_b = (walks >= n // 2).mean()
+        assert frac_b < 0.2
+
+    def test_dead_end_absorbs(self):
+        edges = EdgeList.from_tuples([(0, 0, 1)])
+        adj = build_adjacency(edges, 3, undirected=False)
+        # Node 2 is isolated → walk stays put.
+        walks = random_walks(
+            adj, 4, np.asarray([2]), np.random.default_rng(0)
+        )
+        np.testing.assert_array_equal(walks[0], [2, 2, 2, 2, 2])
+
+
+class TestDeepWalk:
+    def test_loss_decreases(self):
+        edges, n = _two_cliques()
+        dw = DeepWalk(
+            edges, n, dimension=16, walks_per_node=3, walk_length=10,
+            window=3, seed=0,
+        )
+        losses = dw.train(4)
+        assert losses[-1] < losses[0]
+
+    def test_communities_separate_in_embedding(self):
+        edges, n = _two_cliques(k=12)
+        dw = DeepWalk(
+            edges, n, dimension=8, walks_per_node=10, walk_length=20,
+            window=4, lr=0.1, seed=0,
+        )
+        dw.train(10)
+        emb = dw.embeddings / np.linalg.norm(
+            dw.embeddings, axis=1, keepdims=True
+        )
+        k = n // 2
+        within = (emb[:k] @ emb[:k].T).mean()
+        across = (emb[:k] @ emb[k:].T).mean()
+        assert within > across + 0.1
+
+    def test_after_epoch_callback(self):
+        edges, n = _two_cliques()
+        dw = DeepWalk(edges, n, dimension=8, walks_per_node=1,
+                      walk_length=5, window=2, seed=0)
+        calls = []
+        dw.train(2, after_epoch=lambda e, loss, t: calls.append((e, loss)))
+        assert [e for e, _ in calls] == [0, 1]
+
+    def test_memory_accounting(self):
+        edges, n = _two_cliques()
+        dw = DeepWalk(edges, n, dimension=8, seed=0)
+        assert dw.memory_bytes() >= 2 * n * 8 * 4
+
+
+class TestHeavyEdgeMatching:
+    def test_matching_is_symmetric_involution(self):
+        edges, n = _two_cliques()
+        adj = build_adjacency(edges, n)
+        match = heavy_edge_matching(adj, np.random.default_rng(0))
+        for i in range(n):
+            assert match[match[i]] == i
+
+    def test_matched_pairs_are_neighbours(self):
+        edges, n = _two_cliques()
+        adj = build_adjacency(edges, n)
+        match = heavy_edge_matching(adj, np.random.default_rng(1))
+        for i in range(n):
+            j = match[i]
+            if j != i:
+                assert adj[i, j] > 0
+
+    def test_isolated_nodes_unmatched(self):
+        adj = sp.csr_matrix((5, 5))
+        match = heavy_edge_matching(adj, np.random.default_rng(0))
+        np.testing.assert_array_equal(match, np.arange(5))
+
+
+class TestCoarsenGraph:
+    def test_size_shrinks(self):
+        edges, n = _two_cliques()
+        adj = build_adjacency(edges, n)
+        level = coarsen_graph(adj, np.random.default_rng(0))
+        assert level.adj.shape[0] < n
+        assert level.adj.shape[0] >= n // 2
+        assert len(level.assignment) == n
+
+    def test_edge_weight_conserved_off_diagonal(self):
+        """Contraction preserves total weight minus intra-pair edges."""
+        edges, n = _two_cliques()
+        adj = build_adjacency(edges, n)
+        level = coarsen_graph(adj, np.random.default_rng(0))
+        # Weight within merged pairs disappears from the diagonal.
+        assert level.adj.sum() <= adj.sum()
+        assert level.adj.diagonal().sum() == 0
+
+    def test_assignment_covers_all_supernodes(self):
+        edges, n = _two_cliques()
+        adj = build_adjacency(edges, n)
+        level = coarsen_graph(adj, np.random.default_rng(0))
+        assert set(level.assignment) == set(range(level.adj.shape[0]))
+
+
+class TestMILE:
+    def test_pipeline_produces_full_embeddings(self):
+        # n = 80 exceeds the coarsening floor, so refinement runs.
+        edges, n = _two_cliques(k=40)
+        mile = MILE(
+            edges, n, num_levels=2, dimension=16, base_epochs=2, seed=0,
+            deepwalk_kwargs=dict(walks_per_node=2, walk_length=8, window=2),
+        )
+        emb = mile.train()
+        assert emb.shape == (n, 16)
+        assert np.isfinite(emb).all()
+        assert len(mile.levels) >= 1
+        # Refinement normalises rows (float32 tolerance).
+        np.testing.assert_allclose(
+            np.linalg.norm(emb, axis=1), 1.0, atol=1e-3
+        )
+
+    def test_small_graph_skips_coarsening(self):
+        """Graphs below the floor embed directly (no levels)."""
+        edges, n = _two_cliques(k=10)
+        mile = MILE(
+            edges, n, num_levels=3, dimension=16, base_epochs=1, seed=0,
+            deepwalk_kwargs=dict(walks_per_node=1, walk_length=4, window=2),
+        )
+        emb = mile.train()
+        assert emb.shape == (n, 16)
+        assert mile.levels == []
+
+    def test_communities_separate(self):
+        edges, n = _two_cliques()
+        mile = MILE(
+            edges, n, num_levels=1, dimension=16, base_epochs=4, seed=0,
+            deepwalk_kwargs=dict(walks_per_node=4, walk_length=10, window=3),
+        )
+        emb = mile.train()
+        k = n // 2
+        within = (emb[:k] @ emb[:k].T).mean()
+        across = (emb[:k] @ emb[k:].T).mean()
+        assert within > across
+
+    def test_invalid_levels(self):
+        edges, n = _two_cliques()
+        with pytest.raises(ValueError):
+            MILE(edges, n, num_levels=0)
+
+    def test_coarsening_stops_at_floor(self):
+        """Requesting absurd depth must not destroy the graph."""
+        edges, n = _two_cliques(k=10)
+        mile = MILE(
+            edges, n, num_levels=10, dimension=4, base_epochs=1, seed=0,
+            deepwalk_kwargs=dict(walks_per_node=1, walk_length=4, window=2),
+        )
+        emb = mile.train()
+        assert emb.shape == (n, 4)
+        assert len(mile.levels) < 10
+
+
+class TestAdapter:
+    def test_wraps_embeddings(self):
+        emb = np.eye(5, dtype=np.float32)
+        model = embeddings_to_model(emb)
+        np.testing.assert_array_equal(
+            model.global_embeddings("node"), emb
+        )
+
+    def test_scores_are_dot_products(self):
+        rng = np.random.default_rng(0)
+        emb = rng.standard_normal((6, 3)).astype(np.float32)
+        model = embeddings_to_model(emb, "dot")
+        s = model.score_pairs(0, emb[:2], emb[2:4])
+        np.testing.assert_allclose(
+            s, np.einsum("nd,nd->n", emb[:2], emb[2:4]), rtol=1e-6
+        )
+
+    def test_evaluable(self):
+        rng = np.random.default_rng(1)
+        emb = rng.standard_normal((20, 4)).astype(np.float32)
+        model = embeddings_to_model(emb)
+        edges = EdgeList.from_tuples([(0, 0, 1), (2, 0, 3)])
+        m = LinkPredictionEvaluator(model).evaluate(edges, num_candidates=5)
+        assert m.num_queries == 4
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            embeddings_to_model(np.zeros(5))

@@ -1,0 +1,108 @@
+"""Tests for minibatch construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batching import iterate_batches, iterate_chunks
+from repro.graph.edgelist import EdgeList
+
+
+def _mixed_edges(n=100, n_rel=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return EdgeList(
+        rng.integers(0, 50, n),
+        rng.integers(0, n_rel, n),
+        rng.integers(0, 50, n),
+    )
+
+
+class TestIterateBatches:
+    def test_grouped_batches_single_relation(self):
+        edges = _mixed_edges()
+        for batch in iterate_batches(edges, 16, np.random.default_rng(0)):
+            assert batch.rel.min() == batch.rel.max()
+
+    def test_all_edges_covered(self):
+        edges = _mixed_edges()
+        seen = []
+        for batch in iterate_batches(edges, 16, np.random.default_rng(0)):
+            seen.extend(list(batch))
+        assert sorted(seen) == sorted(list(edges))
+
+    def test_ungrouped_covers_all(self):
+        edges = _mixed_edges()
+        seen = []
+        for batch in iterate_batches(
+            edges, 16, np.random.default_rng(0), group_by_relation=False
+        ):
+            assert len(batch) <= 16
+            seen.extend(list(batch))
+        assert sorted(seen) == sorted(list(edges))
+
+    def test_batch_size_respected(self):
+        edges = _mixed_edges()
+        sizes = [
+            len(b)
+            for b in iterate_batches(edges, 7, np.random.default_rng(0))
+        ]
+        assert max(sizes) <= 7
+
+    def test_empty_edges(self):
+        assert list(iterate_batches(EdgeList.empty(), 4, np.random.default_rng(0))) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches(_mixed_edges(), 0, np.random.default_rng(0)))
+
+    def test_batches_shuffled_across_relations(self):
+        """Relations must interleave, not run in id order."""
+        edges = _mixed_edges(n=600, n_rel=3)
+        rel_sequence = [
+            int(b.rel[0])
+            for b in iterate_batches(edges, 10, np.random.default_rng(1))
+        ]
+        assert rel_sequence != sorted(rel_sequence)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(0, 100),
+        bs=st.integers(1, 20),
+        seed=st.integers(0, 1000),
+    )
+    def test_edge_conservation_property(self, n, bs, seed):
+        edges = _mixed_edges(n=n, seed=seed)
+        total = sum(
+            len(b)
+            for b in iterate_batches(edges, bs, np.random.default_rng(seed))
+        )
+        assert total == n
+
+
+class TestIterateChunks:
+    def test_single_relation_sliced(self):
+        rng = np.random.default_rng(0)
+        edges = EdgeList(
+            rng.integers(0, 10, 23),
+            np.full(23, 2, dtype=np.int64),
+            rng.integers(0, 10, 23),
+        )
+        chunks = list(iterate_chunks(edges, 5))
+        assert [len(c) for _, c in chunks] == [5, 5, 5, 5, 3]
+        assert all(rid == 2 for rid, _ in chunks)
+
+    def test_mixed_relations_subgrouped(self):
+        edges = _mixed_edges(n=50)
+        chunks = list(iterate_chunks(edges, 8))
+        for rid, chunk in chunks:
+            assert np.all(chunk.rel == rid)
+        total = sum(len(c) for _, c in chunks)
+        assert total == 50
+
+    def test_empty(self):
+        assert list(iterate_chunks(EdgeList.empty(), 4)) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_chunks(_mixed_edges(), 0))

@@ -1,0 +1,139 @@
+"""Tests for bucket iteration orders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.buckets import (
+    Bucket,
+    bucket_order,
+    chained_order,
+    check_seen_partition_invariant,
+    count_partition_swaps,
+    inside_out_order,
+    outside_in_order,
+    random_order,
+)
+
+GRID_SIZES = st.integers(1, 8)
+
+
+@pytest.mark.parametrize("name", ["inside_out", "outside_in", "chained", "random"])
+@settings(max_examples=20, deadline=None)
+@given(nl=GRID_SIZES, nr=GRID_SIZES, seed=st.integers(0, 1000))
+def test_orders_are_permutations(name, nl, nr, seed):
+    order = bucket_order(name, nl, nr, np.random.default_rng(seed))
+    assert len(order) == nl * nr
+    assert len(set(order)) == nl * nr
+    for b in order:
+        assert 0 <= b.lhs < nl and 0 <= b.rhs < nr
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=GRID_SIZES)
+def test_inside_out_satisfies_invariant(n):
+    order = inside_out_order(n, n)
+    assert check_seen_partition_invariant(order)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=GRID_SIZES)
+def test_chained_satisfies_invariant(n):
+    order = chained_order(n, n)
+    assert check_seen_partition_invariant(order)
+
+
+def test_inside_out_starts_at_origin():
+    order = inside_out_order(4, 4)
+    assert order[0] == Bucket(0, 0)
+
+
+def test_inside_out_shell_structure():
+    """Shell n (max coordinate) is fully trained before shell n+1."""
+    order = inside_out_order(5, 5)
+    shells = [max(b.lhs, b.rhs) for b in order]
+    assert shells == sorted(shells)
+
+
+def test_outside_in_is_reverse_of_inside_out():
+    order = outside_in_order(4, 4)
+    assert order == list(reversed(inside_out_order(4, 4)))
+    # On a symmetric grid it satisfies the letter of the invariant
+    # (the outermost shell touches every partition early).
+    assert check_seen_partition_invariant(order)
+
+
+def test_random_order_usually_violates_invariant():
+    """On big grids a uniformly random order almost surely violates
+    the invariant at some point (that's why PBG doesn't use it)."""
+    violations = 0
+    for seed in range(20):
+        order = random_order(8, 8, np.random.default_rng(seed))
+        if not check_seen_partition_invariant(order):
+            violations += 1
+    assert violations >= 15
+
+
+def test_invariant_trivial_cases():
+    assert check_seen_partition_invariant([])
+    assert check_seen_partition_invariant([Bucket(0, 0)])
+    assert check_seen_partition_invariant(
+        [Bucket(0, 1), Bucket(2, 3)], symmetric=True
+    ) is False
+
+
+def test_invariant_asymmetric_spaces():
+    # lhs partition 0 and rhs partition 0 are different spaces.
+    order = [Bucket(0, 0), Bucket(1, 0)]
+    assert check_seen_partition_invariant(order, symmetric=False)
+    order = [Bucket(0, 0), Bucket(1, 1)]
+    assert not check_seen_partition_invariant(order, symmetric=False)
+
+
+def test_unknown_order_name():
+    with pytest.raises(ValueError, match="unknown bucket order"):
+        bucket_order("zigzag", 2, 2)
+
+
+class TestSwapCounting:
+    def test_single_bucket(self):
+        assert count_partition_swaps([Bucket(0, 0)]) == 1
+        assert count_partition_swaps([Bucket(0, 1)]) == 2
+
+    def test_reuse_costs_nothing(self):
+        order = [Bucket(0, 1), Bucket(0, 2)]
+        # Load {0,1} (2 swaps), then keep 0, load 2 (1 swap).
+        assert count_partition_swaps(order) == 3
+
+    def test_inside_out_cheaper_than_random_on_average(self):
+        n = 8
+        io = count_partition_swaps(inside_out_order(n, n))
+        rand = np.mean([
+            count_partition_swaps(random_order(n, n, np.random.default_rng(s)))
+            for s in range(20)
+        ])
+        assert io < rand
+
+    def test_inside_out_not_worse_than_chained(self):
+        """Inside-out pairs (n,m),(m,n) share both partitions, so it
+        swaps less than the snake order (the paper picks it partly to
+        minimise swaps)."""
+        n = 6
+        chained = count_partition_swaps(chained_order(n, n))
+        io = count_partition_swaps(inside_out_order(n, n))
+        assert io <= chained
+
+
+def test_rectangular_grids():
+    for name in ["inside_out", "outside_in", "chained", "random"]:
+        order = bucket_order(name, 3, 5, np.random.default_rng(0))
+        assert len(order) == 15
+        order = bucket_order(name, 5, 3, np.random.default_rng(0))
+        assert len(order) == 15
+
+
+def test_one_sided_grid():
+    order = inside_out_order(4, 1)
+    assert len(order) == 4
+    assert check_seen_partition_invariant(order)

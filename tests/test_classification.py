@@ -1,0 +1,140 @@
+"""Tests for the node-classification harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval.classification import (
+    LogisticRegressionOvR,
+    f1_scores,
+    multilabel_cross_validation,
+)
+
+
+def _separable_data(n=200, d=4, c=3, seed=0):
+    """Clusters in feature space, one label per cluster."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((c, d)) * 4
+    y = rng.integers(0, c, n)
+    X = centers[y] + 0.3 * rng.standard_normal((n, d))
+    Y = np.zeros((n, c), dtype=bool)
+    Y[np.arange(n), y] = True
+    return X, Y
+
+
+class TestLogisticRegressionOvR:
+    def test_separable_problem_high_accuracy(self):
+        X, Y = _separable_data()
+        clf = LogisticRegressionOvR(l2=0.1).fit(X, Y)
+        pred = clf.predict_top_k(X, Y.sum(axis=1))
+        micro, macro = f1_scores(Y, pred)
+        assert micro > 0.95 and macro > 0.95
+
+    def test_decision_function_shape(self):
+        X, Y = _separable_data(n=50, c=4)
+        clf = LogisticRegressionOvR().fit(X, Y)
+        assert clf.decision_function(X).shape == (50, 4)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionOvR().decision_function(np.zeros((1, 2)))
+
+    def test_degenerate_class_handled(self):
+        """A class with no positive examples must not crash."""
+        X, Y = _separable_data(n=60, c=2)
+        Y = np.hstack([Y, np.zeros((60, 1), dtype=bool)])
+        clf = LogisticRegressionOvR().fit(X, Y)
+        scores = clf.decision_function(X)
+        # The empty class should essentially never win.
+        assert (scores[:, 2] < scores[:, :2].max(axis=1)).all()
+
+    def test_l2_shrinks_coefficients(self):
+        X, Y = _separable_data(n=100)
+        small = LogisticRegressionOvR(l2=0.01).fit(X, Y)
+        large = LogisticRegressionOvR(l2=100.0).fit(X, Y)
+        assert np.abs(large.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionOvR().fit(np.zeros((5, 2)), np.zeros((4, 3)))
+
+    def test_invalid_l2(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionOvR(l2=-1)
+
+    def test_predict_top_k_respects_counts(self):
+        X, Y = _separable_data(n=30, c=3)
+        clf = LogisticRegressionOvR().fit(X, Y)
+        counts = np.asarray([2] * 30)
+        pred = clf.predict_top_k(X, counts)
+        assert (pred.sum(axis=1) == 2).all()
+
+
+class TestF1Scores:
+    def test_perfect(self):
+        Y = np.asarray([[1, 0], [0, 1]], dtype=bool)
+        micro, macro = f1_scores(Y, Y)
+        assert micro == 1.0 and macro == 1.0
+
+    def test_all_wrong(self):
+        true = np.asarray([[1, 0], [1, 0]], dtype=bool)
+        pred = np.asarray([[0, 1], [0, 1]], dtype=bool)
+        micro, macro = f1_scores(true, pred)
+        assert micro == 0.0 and macro == 0.0
+
+    def test_manual_micro(self):
+        true = np.asarray([[1, 0], [1, 1]], dtype=bool)
+        pred = np.asarray([[1, 1], [0, 1]], dtype=bool)
+        micro, _ = f1_scores(true, pred)
+        # tp=2, fp=1, fn=1 → micro F1 = 2*2/(2*2+1+1)
+        assert micro == pytest.approx(4 / 6)
+
+    def test_macro_ignores_absent_classes(self):
+        true = np.asarray([[1, 0, 0]], dtype=bool)
+        pred = np.asarray([[1, 0, 0]], dtype=bool)
+        _, macro = f1_scores(true, pred)
+        assert macro == 1.0  # classes 1, 2 absent → excluded
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            f1_scores(np.zeros((2, 2), bool), np.zeros((3, 2), bool))
+
+
+class TestCrossValidation:
+    def test_separable_scores_high(self):
+        X, Y = _separable_data(n=300)
+        res = multilabel_cross_validation(
+            X, Y, num_folds=5, rng=np.random.default_rng(0)
+        )
+        assert res.micro_f1 > 0.9
+        assert res.macro_f1 > 0.9
+        assert res.num_folds == 5
+
+    def test_unlabelled_rows_excluded(self):
+        X, Y = _separable_data(n=200)
+        Y[:100] = False  # half unlabelled
+        res = multilabel_cross_validation(
+            X, Y, num_folds=4, rng=np.random.default_rng(0)
+        )
+        assert res.micro_f1 > 0.8
+
+    def test_too_few_samples(self):
+        X, Y = _separable_data(n=5)
+        with pytest.raises(ValueError, match="folds"):
+            multilabel_cross_validation(X, Y, num_folds=10)
+
+    def test_result_str(self):
+        X, Y = _separable_data(n=100)
+        res = multilabel_cross_validation(
+            X, Y, num_folds=3, rng=np.random.default_rng(0)
+        )
+        assert "micro-F1" in str(res)
+
+    def test_random_features_near_chance(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((300, 4))
+        Y = np.zeros((300, 3), dtype=bool)
+        Y[np.arange(300), rng.integers(0, 3, 300)] = True
+        res = multilabel_cross_validation(
+            X, Y, num_folds=3, rng=np.random.default_rng(0)
+        )
+        assert res.micro_f1 < 0.55

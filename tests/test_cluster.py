@@ -1,0 +1,181 @@
+"""Integration tests for the simulated distributed trainer."""
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigSchema, EntitySchema, RelationSchema
+from repro.distributed.cluster import DistributedTrainer
+from repro.eval.ranking import LinkPredictionEvaluator
+from repro.graph.edgelist import EdgeList
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import partition_entities
+
+
+def _graph(n=300, extra=2500, seed=0):
+    rng = np.random.default_rng(seed)
+    src = np.arange(n)
+    dst = (src + 1) % n
+    es = rng.integers(0, n, extra)
+    ed = (es + rng.integers(1, 4, extra)) % n
+    return EdgeList(
+        np.concatenate([src, es]),
+        np.zeros(n + extra, dtype=np.int64),
+        np.concatenate([dst, ed]),
+    )
+
+
+def _setup(num_machines, nparts, n=300, seed=0, **kw):
+    defaults = dict(
+        dimension=16, num_epochs=3, batch_size=200, chunk_size=50,
+        lr=0.1, num_batch_negs=10, num_uniform_negs=10,
+        parameter_sync_interval=2,
+    )
+    defaults.update(kw)
+    config = ConfigSchema(
+        entities={"node": EntitySchema(num_partitions=nparts)},
+        relations=[
+            RelationSchema(
+                name="link", lhs="node", rhs="node", operator="translation"
+            )
+        ],
+        num_machines=num_machines,
+        **defaults,
+    )
+    entities = EntityStorage({"node": n})
+    entities.set_partitioning(
+        "node", partition_entities(n, nparts, np.random.default_rng(seed))
+    )
+    return config, entities
+
+
+class TestThreadMode:
+    def test_single_machine_trains(self):
+        config, entities = _setup(1, 2)
+        trainer = DistributedTrainer(config, entities)
+        model, stats = trainer.train(_graph())
+        assert stats.total_edges > 0
+        assert len(stats.machines) == 1
+        assert stats.machines[0].buckets_trained == 3 * 4
+
+    def test_two_machines_learn_aligned_space(self):
+        """Quality with 2 machines must be close to 1 machine."""
+        edges = _graph()
+        mrrs = {}
+        for m, p in [(1, 4), (2, 4)]:
+            config, entities = _setup(m, p, num_epochs=6, seed=1)
+            trainer = DistributedTrainer(config, entities)
+            model, _ = trainer.train(edges)
+            ev = LinkPredictionEvaluator(model)
+            mrrs[m] = ev.evaluate(
+                edges[:600], num_candidates=100,
+                rng=np.random.default_rng(0),
+            ).mrr
+        assert mrrs[2] > 0.6 * mrrs[1]
+        assert mrrs[1] > 0.3  # sanity: the task is learnable
+
+    def test_machine_stats_populated(self):
+        config, entities = _setup(2, 4)
+        trainer = DistributedTrainer(config, entities)
+        _, stats = trainer.train(_graph())
+        assert len(stats.machines) == 2
+        total_buckets = sum(m.buckets_trained for m in stats.machines)
+        assert total_buckets == 3 * 16
+        assert all(m.peak_resident_bytes > 0 for m in stats.machines)
+        assert len(stats.epoch_times) == 3
+
+    def test_after_epoch_callback_sees_full_model(self):
+        config, entities = _setup(2, 4)
+        trainer = DistributedTrainer(config, entities)
+        snapshots = []
+
+        def cb(epoch, model):
+            emb = model.global_embeddings("node")
+            snapshots.append((epoch, float(np.linalg.norm(emb))))
+
+        trainer.train(_graph(), after_epoch=cb)
+        assert [e for e, _ in snapshots] == [0, 1, 2]
+        assert all(np.isfinite(v) for _, v in snapshots)
+
+    def test_partition_server_holds_all_partitions_after_run(self):
+        config, entities = _setup(2, 4)
+        trainer = DistributedTrainer(config, entities)
+        trainer.train(_graph())
+        assert trainer.partition_server.keys() == [
+            ("node", p) for p in range(4)
+        ]
+
+    def test_memory_decreases_with_more_machines(self):
+        edges = _graph()
+        peaks = {}
+        for m, p in [(2, 8), (4, 8)]:
+            config, entities = _setup(m, p, num_epochs=1)
+            trainer = DistributedTrainer(config, entities)
+            _, stats = trainer.train(edges)
+            peaks[m] = stats.peak_machine_bytes
+        assert peaks[4] < peaks[2]
+
+    def test_worker_exception_propagates(self):
+        config, entities = _setup(2, 4)
+        trainer = DistributedTrainer(config, entities)
+        bad = EdgeList(
+            np.asarray([10_000]), np.asarray([0]), np.asarray([0])
+        )  # src id out of range → worker failure
+        with pytest.raises(Exception):
+            trainer.train(bad)
+
+    def test_unpartitioned_type_via_parameter_server(self):
+        """A small unpartitioned entity type syncs through the PS."""
+        config = ConfigSchema(
+            entities={
+                "user": EntitySchema(num_partitions=4),
+                "cat": EntitySchema(),
+            },
+            relations=[
+                RelationSchema(name="in", lhs="user", rhs="cat"),
+                RelationSchema(
+                    name="follows", lhs="user", rhs="user",
+                    operator="translation",
+                ),
+            ],
+            dimension=8, num_epochs=2, num_machines=2,
+            batch_size=100, chunk_size=20,
+            num_batch_negs=5, num_uniform_negs=5,
+        )
+        entities = EntityStorage({"user": 200, "cat": 10})
+        entities.set_partitioning(
+            "user", partition_entities(200, 4, np.random.default_rng(0))
+        )
+        rng = np.random.default_rng(1)
+        n_e = 1000
+        rel = rng.integers(0, 2, n_e)
+        src = rng.integers(0, 200, n_e)
+        dst = np.where(
+            rel == 0, rng.integers(0, 10, n_e), rng.integers(0, 200, n_e)
+        )
+        edges = EdgeList(src, rel, dst)
+        trainer = DistributedTrainer(config, entities)
+        model, stats = trainer.train(edges)
+        assert model.global_embeddings("cat").shape == (10, 8)
+        # The cat table must have been registered with the PS.
+        assert "table_cat" in trainer.parameter_server.names()
+
+
+@pytest.mark.slow
+class TestProcessMode:
+    def test_process_mode_trains_and_matches_quality(self):
+        edges = _graph()
+        config, entities = _setup(2, 4, num_epochs=4, seed=2)
+        trainer = DistributedTrainer(config, entities, mode="process")
+        model, stats = trainer.train(edges)
+        assert len(stats.machines) == 2
+        assert stats.total_edges == 4 * len(edges)
+        ev = LinkPredictionEvaluator(model)
+        m = ev.evaluate(
+            edges[:600], num_candidates=100, rng=np.random.default_rng(0)
+        )
+        assert m.mrr > 0.2
+
+    def test_process_mode_invalid_mode(self):
+        config, entities = _setup(1, 2)
+        with pytest.raises(ValueError, match="unknown mode"):
+            DistributedTrainer(config, entities, mode="rpc")

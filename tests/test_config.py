@@ -1,0 +1,191 @@
+"""Tests for the configuration schema."""
+
+import pytest
+
+from repro.config import (
+    ConfigSchema,
+    EntitySchema,
+    RelationSchema,
+    single_entity_config,
+)
+
+
+def _minimal(**kw):
+    return ConfigSchema(
+        entities={"node": EntitySchema()},
+        relations=[RelationSchema(name="r", lhs="node", rhs="node")],
+        **kw,
+    )
+
+
+class TestEntitySchema:
+    def test_defaults(self):
+        e = EntitySchema()
+        assert e.num_partitions == 1 and not e.featurized
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            EntitySchema(num_partitions=0)
+
+    def test_featurized_needs_features(self):
+        with pytest.raises(ValueError):
+            EntitySchema(featurized=True)
+        EntitySchema(featurized=True, num_features=10)  # ok
+
+    def test_featurized_cannot_partition(self):
+        with pytest.raises(ValueError):
+            EntitySchema(featurized=True, num_features=5, num_partitions=2)
+
+    def test_features_only_for_featurized(self):
+        with pytest.raises(ValueError):
+            EntitySchema(num_features=5)
+
+
+class TestRelationSchema:
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            RelationSchema(name="r", lhs="a", rhs="b", operator="warp")
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            RelationSchema(name="r", lhs="a", rhs="b", weight=0.0)
+
+
+class TestConfigSchema:
+    def test_minimal_valid(self):
+        cfg = _minimal()
+        assert cfg.dimension == 100
+        assert cfg.num_buckets() == 1
+
+    def test_unknown_entity_reference(self):
+        with pytest.raises(ValueError, match="unknown lhs entity"):
+            ConfigSchema(
+                entities={"node": EntitySchema()},
+                relations=[RelationSchema(name="r", lhs="ghost", rhs="node")],
+            )
+
+    def test_duplicate_relation_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            ConfigSchema(
+                entities={"node": EntitySchema()},
+                relations=[
+                    RelationSchema(name="r", lhs="node", rhs="node"),
+                    RelationSchema(name="r", lhs="node", rhs="node"),
+                ],
+            )
+
+    def test_complex_requires_even_dimension(self):
+        with pytest.raises(ValueError, match="even dimension"):
+            ConfigSchema(
+                entities={"node": EntitySchema()},
+                relations=[
+                    RelationSchema(
+                        name="r", lhs="node", rhs="node",
+                        operator="complex_diagonal",
+                    )
+                ],
+                dimension=7,
+            )
+
+    def test_no_negatives_rejected(self):
+        with pytest.raises(ValueError, match="at least one source"):
+            _minimal(num_batch_negs=0, num_uniform_negs=0)
+
+    def test_chunk_larger_than_batch(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            _minimal(batch_size=10, chunk_size=20)
+
+    def test_distributed_needs_enough_partitions(self):
+        with pytest.raises(ValueError, match="P/2"):
+            ConfigSchema(
+                entities={"node": EntitySchema(num_partitions=2)},
+                relations=[RelationSchema(name="r", lhs="node", rhs="node")],
+                num_machines=2,
+            )
+        # 4 partitions for 2 machines is fine.
+        ConfigSchema(
+            entities={"node": EntitySchema(num_partitions=4)},
+            relations=[RelationSchema(name="r", lhs="node", rhs="node")],
+            num_machines=2,
+        )
+
+    def test_num_buckets_grid(self):
+        cfg = ConfigSchema(
+            entities={"node": EntitySchema(num_partitions=4)},
+            relations=[RelationSchema(name="r", lhs="node", rhs="node")],
+        )
+        assert cfg.num_buckets() == 16
+
+    def test_num_buckets_one_sided(self):
+        cfg = ConfigSchema(
+            entities={
+                "user": EntitySchema(num_partitions=4),
+                "item": EntitySchema(),
+            },
+            relations=[RelationSchema(name="buys", lhs="user", rhs="item")],
+        )
+        assert cfg.num_buckets() == 4
+
+    def test_relation_index(self):
+        cfg = ConfigSchema(
+            entities={"node": EntitySchema()},
+            relations=[
+                RelationSchema(name="a", lhs="node", rhs="node"),
+                RelationSchema(name="b", lhs="node", rhs="node"),
+            ],
+        )
+        assert cfg.relation_index("b") == 1
+        with pytest.raises(KeyError):
+            cfg.relation_index("zzz")
+
+    def test_relation_lr_default(self):
+        assert _minimal(lr=0.3).relation_lr_effective == 0.3
+        assert _minimal(lr=0.3, relation_lr=0.01).relation_lr_effective == 0.01
+
+    def test_json_roundtrip(self):
+        cfg = ConfigSchema(
+            entities={
+                "user": EntitySchema(num_partitions=8),
+                "tag": EntitySchema(featurized=True, num_features=64),
+            },
+            relations=[
+                RelationSchema(
+                    name="likes", lhs="user", rhs="tag",
+                    operator="diagonal", weight=2.0,
+                )
+            ],
+            dimension=32,
+            loss="softmax",
+            bucket_order="chained",
+        )
+        restored = ConfigSchema.from_json(cfg.to_json())
+        assert restored == cfg
+
+    def test_replace(self):
+        cfg = _minimal(dimension=16)
+        cfg2 = cfg.replace(dimension=32, lr=0.5)
+        assert cfg2.dimension == 32 and cfg2.lr == 0.5
+        assert cfg.dimension == 16  # original untouched
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            _minimal().replace(dimension=-1)
+
+    def test_single_entity_config(self):
+        cfg = single_entity_config(
+            num_partitions=4, operator="translation",
+            relation_names=("a", "b"), dimension=10,
+        )
+        assert set(cfg.entities) == {"node"}
+        assert [r.name for r in cfg.relations] == ["a", "b"]
+        assert all(r.operator == "translation" for r in cfg.relations)
+        assert cfg.num_buckets() == 16
+
+    def test_eval_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            _minimal(eval_fraction=1.0)
+        _minimal(eval_fraction=0.05)
+
+    def test_bad_bucket_order(self):
+        with pytest.raises(ValueError, match="bucket_order"):
+            _minimal(bucket_order="spiral")

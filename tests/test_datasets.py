@@ -1,0 +1,220 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    community_labels,
+    fb15k_like,
+    freebase_like,
+    knowledge_graph,
+    livejournal_like,
+    social_network,
+    split_with_coverage,
+    twitter_like,
+    user_item_graph,
+    youtube_like,
+)
+from repro.graph.edgelist import EdgeList
+
+
+class TestSocialNetwork:
+    def test_basic_properties(self):
+        g = social_network(1000, 8000, seed=0)
+        assert g.num_nodes == 1000
+        assert 7000 <= g.num_edges <= 8000
+        assert g.edges.src.max() < 1000 and g.edges.dst.max() < 1000
+        assert np.all(g.edges.rel == 0)
+
+    def test_no_self_loops_no_duplicates(self):
+        g = social_network(500, 4000, seed=1)
+        assert np.all(g.edges.src != g.edges.dst)
+        pairs = g.edges.src * 500 + g.edges.dst
+        assert len(np.unique(pairs)) == len(pairs)
+
+    def test_heavy_tailed_in_degree(self):
+        """Top 1% of nodes must hold a disproportionate share of edges."""
+        g = social_network(2000, 30000, popularity_exponent=1.0, seed=2)
+        in_deg = np.bincount(g.edges.dst, minlength=2000)
+        top = np.sort(in_deg)[-20:].sum()
+        assert top / g.num_edges > 0.1
+
+    def test_homophily_concentrates_edges(self):
+        g = social_network(1000, 10000, homophily=0.9, num_communities=10, seed=3)
+        same = (g.communities[g.edges.src] == g.communities[g.edges.dst]).mean()
+        g2 = social_network(1000, 10000, homophily=0.0, num_communities=10, seed=3)
+        same2 = (g2.communities[g2.edges.src] == g2.communities[g2.edges.dst]).mean()
+        assert same > 0.5 > same2 + 0.2
+
+    def test_determinism(self):
+        g1 = social_network(300, 2000, seed=7)
+        g2 = social_network(300, 2000, seed=7)
+        assert g1.edges == g2.edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            social_network(1, 10)
+        with pytest.raises(ValueError):
+            social_network(10, 10, homophily=1.5)
+        with pytest.raises(ValueError):
+            social_network(10, 10, reciprocity=-0.1)
+
+    def test_presets_scale(self):
+        lj = livejournal_like(num_nodes=2000, seed=0)
+        tw = twitter_like(num_nodes=2000, seed=0)
+        yt = youtube_like(num_nodes=2000, seed=0)
+        # Density ordering mirrors the real datasets.
+        assert tw.num_edges > lj.num_edges > yt.num_edges
+
+
+class TestKnowledgeGraph:
+    def test_basic_properties(self):
+        kg = knowledge_graph(1000, 20, 15000, seed=0)
+        assert kg.num_entities == 1000
+        assert kg.num_relations == 20
+        assert kg.edges.rel.max() < 20
+        assert kg.num_edges <= 15000
+
+    def test_no_self_loops_unique_triples(self):
+        kg = knowledge_graph(500, 10, 8000, seed=1)
+        assert np.all(kg.edges.src != kg.edges.dst)
+        key = (kg.edges.rel * 500 + kg.edges.src) * 500 + kg.edges.dst
+        assert len(np.unique(key)) == len(key)
+
+    def test_relation_sizes_zipf(self):
+        """A few relations hold most edges (the Freebase shape)."""
+        kg = knowledge_graph(2000, 50, 30000, seed=2)
+        counts = np.bincount(kg.edges.rel, minlength=50)
+        assert counts.max() > 5 * np.median(counts[counts > 0])
+
+    def test_schema_structure_followed(self):
+        """Non-noise edges respect the relation's cluster permutation."""
+        kg = knowledge_graph(
+            1000, 10, 10000, num_clusters=5, noise=0.0,
+            symmetric_fraction=0.0, seed=3,
+        )
+        # With zero noise every edge must map cluster(s) -> sigma_r(cluster(s))
+        # consistently: for a fixed (relation, source-cluster) pair all
+        # destination clusters are identical.
+        for r in range(10):
+            mask = kg.edges.rel == r
+            if not mask.any():
+                continue
+            sc = kg.clusters[kg.edges.src[mask]]
+            dc = kg.clusters[kg.edges.dst[mask]]
+            for c in np.unique(sc):
+                assert len(np.unique(dc[sc == c])) == 1
+
+    def test_symmetric_relations_have_reverse_edges(self):
+        kg = knowledge_graph(
+            300, 6, 5000, symmetric_fraction=1.0, noise=0.0, seed=4
+        )
+        # For symmetric relations a decent share of edges is reciprocated.
+        fwd = set(zip(kg.edges.src, kg.edges.rel, kg.edges.dst))
+        rev_hits = sum(
+            1 for (s, r, d) in fwd if (d, r, s) in fwd
+        )
+        assert rev_hits / len(fwd) > 0.2
+
+    def test_determinism(self):
+        k1 = knowledge_graph(200, 5, 1000, seed=9)
+        k2 = knowledge_graph(200, 5, 1000, seed=9)
+        assert k1.edges == k2.edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            knowledge_graph(5, 2, 10, num_clusters=10)
+        with pytest.raises(ValueError):
+            knowledge_graph(100, 2, 10, symmetric_fraction=2.0)
+
+    def test_presets(self):
+        fb = fb15k_like(num_entities=500, num_relations=20, num_edges=3000)
+        assert fb.num_entities == 500
+        fr = freebase_like(num_entities=1000, num_relations=10, num_edges=5000)
+        assert fr.num_entities == 1000
+
+
+class TestUserItemGraph:
+    def test_bipartite_id_spaces(self):
+        edges, user_cat, item_cat = user_item_graph(500, 50, 3000, seed=0)
+        assert edges.src.max() < 500
+        assert edges.dst.max() < 50
+        assert len(user_cat) == 500 and len(item_cat) == 50
+
+    def test_preference_followed(self):
+        edges, user_cat, item_cat = user_item_graph(
+            1000, 100, 8000, num_categories=5, seed=1
+        )
+        match = (user_cat[edges.src] == item_cat[edges.dst]).mean()
+        assert match > 0.5
+
+
+class TestCommunityLabels:
+    def test_shapes_and_coverage(self):
+        comm = np.random.default_rng(0).integers(0, 10, 500)
+        labels = community_labels(comm, labelled_fraction=0.6, seed=0)
+        assert labels.shape == (500, 10)
+        frac = labels.any(axis=1).mean()
+        assert 0.5 < frac < 0.7
+
+    def test_labels_correlate_with_communities(self):
+        comm = np.random.default_rng(1).integers(0, 8, 1000)
+        labels = community_labels(
+            comm, labelled_fraction=1.0, noise=0.0, extra_label_rate=0.0,
+            seed=1,
+        )
+        primary = labels.argmax(axis=1)
+        assert (primary == comm).mean() > 0.99
+
+    def test_label_merging(self):
+        comm = np.asarray([0, 5, 9])
+        labels = community_labels(comm, num_labels=5, labelled_fraction=1.0,
+                                  noise=0.0, seed=0)
+        assert labels.shape == (3, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            community_labels(np.asarray([0]), labelled_fraction=0.0)
+
+
+class TestSplitWithCoverage:
+    def test_fractions_roughly_respected(self):
+        g = social_network(500, 5000, seed=0)
+        rng = np.random.default_rng(0)
+        train, valid, test = split_with_coverage(
+            g.edges, [0.8, 0.1, 0.1], rng
+        )
+        total = len(train) + len(valid) + len(test)
+        assert total == g.num_edges
+        assert len(train) >= 0.8 * total
+
+    def test_coverage_guaranteed(self):
+        """Every entity with any edge appears in the training split."""
+        g = social_network(400, 1500, seed=1)
+        rng = np.random.default_rng(1)
+        train, test = split_with_coverage(g.edges, [0.5, 0.5], rng)
+        all_ents = set(np.concatenate([g.edges.src, g.edges.dst]).tolist())
+        train_ents = set(np.concatenate([train.src, train.dst]).tolist())
+        assert train_ents == all_ents
+
+    def test_no_edge_lost_or_duplicated(self):
+        g = social_network(300, 2000, seed=2)
+        rng = np.random.default_rng(2)
+        parts = split_with_coverage(g.edges, [0.7, 0.2, 0.1], rng)
+        merged = sorted(sum((list(p) for p in parts), []))
+        assert merged == sorted(list(g.edges))
+
+    def test_without_coverage_plain_split(self):
+        g = social_network(300, 2000, seed=3)
+        rng = np.random.default_rng(3)
+        train, test = split_with_coverage(
+            g.edges, [0.75, 0.25], rng, ensure_coverage=False
+        )
+        assert len(train) == round(0.75 * g.num_edges)
+
+    def test_single_part(self):
+        edges = EdgeList.from_tuples([(0, 0, 1)])
+        (only,) = split_with_coverage(
+            edges, [1.0], np.random.default_rng(0)
+        )
+        assert len(only) == 1

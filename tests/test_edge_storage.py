@@ -1,0 +1,103 @@
+"""Tests for on-disk bucketed edge storage."""
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigSchema, EntitySchema, RelationSchema
+from repro.graph.edge_storage import BucketedEdgeStorage
+from repro.graph.edgelist import EdgeList
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import bucket_edges, partition_entities
+
+
+def _bucketed(nparts=3, n=60, num_edges=400, seed=0):
+    config = ConfigSchema(
+        entities={"node": EntitySchema(num_partitions=nparts)},
+        relations=[RelationSchema(name="r", lhs="node", rhs="node")],
+        dimension=4,
+    )
+    entities = EntityStorage({"node": n})
+    entities.set_partitioning(
+        "node", partition_entities(n, nparts, np.random.default_rng(seed))
+    )
+    rng = np.random.default_rng(seed + 1)
+    edges = EdgeList(
+        rng.integers(0, n, num_edges),
+        np.zeros(num_edges, dtype=np.int64),
+        rng.integers(0, n, num_edges),
+        rng.random(num_edges) + 0.1,
+    )
+    return bucket_edges(edges, config, entities), config, entities
+
+
+class TestBucketedEdgeStorage:
+    def test_save_load_roundtrip(self, tmp_path):
+        bucketed, _, _ = _bucketed()
+        storage = BucketedEdgeStorage(tmp_path)
+        storage.save(bucketed)
+        for key, edges in bucketed.buckets.items():
+            loaded = storage.load_bucket(*key)
+            assert loaded == edges
+
+    def test_grid_metadata(self, tmp_path):
+        bucketed, _, _ = _bucketed(nparts=4)
+        storage = BucketedEdgeStorage(tmp_path)
+        storage.save(bucketed)
+        assert storage.grid() == (4, 4)
+
+    def test_missing_bucket_empty(self, tmp_path):
+        storage = BucketedEdgeStorage(tmp_path)
+        assert len(storage.load_bucket(9, 9)) == 0
+
+    def test_stored_buckets_sorted(self, tmp_path):
+        bucketed, _, _ = _bucketed()
+        storage = BucketedEdgeStorage(tmp_path)
+        storage.save(bucketed)
+        stored = storage.stored_buckets()
+        assert stored == sorted(stored)
+        assert set(stored) == set(bucketed.nonempty_buckets())
+
+    def test_nbytes(self, tmp_path):
+        bucketed, _, _ = _bucketed()
+        storage = BucketedEdgeStorage(tmp_path)
+        assert storage.nbytes() == 0
+        storage.save(bucketed)
+        assert storage.nbytes() > 0
+
+
+class TestLazyBucketedEdges:
+    def test_duck_typing_matches_eager(self, tmp_path):
+        bucketed, _, _ = _bucketed()
+        storage = BucketedEdgeStorage(tmp_path)
+        storage.save(bucketed)
+        lazy = storage.load_lazy()
+        assert lazy.nparts_lhs == bucketed.nparts_lhs
+        assert lazy.num_edges() == bucketed.num_edges()
+        assert set(lazy.nonempty_buckets()) == set(
+            bucketed.nonempty_buckets()
+        )
+        for key in bucketed.nonempty_buckets():
+            assert lazy.edges_for(key) == bucketed.edges_for(key)
+
+    def test_trainer_streams_from_disk(self, tmp_path):
+        """The partitioned trainer accepts a lazy view transparently."""
+        from repro.core.model import EmbeddingModel
+        from repro.core.trainer import Trainer
+        from repro.graph.storage import PartitionedEmbeddingStorage
+
+        bucketed, config, entities = _bucketed(nparts=3)
+        config = config.replace(
+            num_epochs=2, batch_size=64, chunk_size=16,
+            num_batch_negs=4, num_uniform_negs=4,
+        )
+        storage = BucketedEdgeStorage(tmp_path / "edges")
+        storage.save(bucketed)
+        lazy = storage.load_lazy()
+
+        model = EmbeddingModel(config, entities)
+        trainer = Trainer(
+            config, model, entities,
+            PartitionedEmbeddingStorage(tmp_path / "parts"),
+        )
+        stats = trainer.train_bucketed(lazy)
+        assert stats.total_edges == 2 * bucketed.num_edges()

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run to completion.
+
+Marked slow — each example is a full miniature experiment. They run
+in-process via runpy so coverage tools see them and import errors
+surface as ordinary failures.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples read no argv; shield them from pytest's.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 0  # every example reports results
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "knowledge_graph_embedding",
+        "partitioned_training",
+        "distributed_training",
+        "node_classification",
+        "featurized_entities",
+    } <= names

@@ -1,0 +1,176 @@
+"""Tests for the string-triple import pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.importers import (
+    ImportResult,
+    Vocabulary,
+    import_edges,
+    read_tsv,
+    write_tsv,
+)
+
+
+class TestVocabulary:
+    def test_interning(self):
+        v = Vocabulary()
+        a = v.add("alice")
+        b = v.add("bob")
+        assert v.add("alice") == a
+        assert a != b
+        assert len(v) == 2
+
+    def test_counts(self):
+        v = Vocabulary()
+        v.add("x")
+        v.add("x")
+        v.add("y")
+        assert v.count_of(v.id_of("x")) == 2
+        np.testing.assert_array_equal(v.counts(), [2, 1])
+
+    def test_lookup(self):
+        v = Vocabulary()
+        v.add("n")
+        assert v.name_of(0) == "n"
+        assert "n" in v and "m" not in v
+        with pytest.raises(KeyError):
+            v.id_of("m")
+
+    def test_json_roundtrip(self):
+        v = Vocabulary()
+        for name in ["a", "b", "a", "c"]:
+            v.add(name)
+        v2 = Vocabulary.from_json(v.to_json())
+        assert len(v2) == 3
+        assert v2.id_of("c") == v.id_of("c")
+        assert v2.count_of(0) == 2
+
+    def test_save_load(self, tmp_path):
+        v = Vocabulary()
+        v.add("ent")
+        v.save(tmp_path / "v.json")
+        assert Vocabulary.load(tmp_path / "v.json").id_of("ent") == 0
+
+
+class TestImportEdges:
+    TRIPLES = [
+        ("alice", "follows", "bob"),
+        ("bob", "follows", "carol"),
+        ("alice", "likes", "carol"),
+        ("carol", "follows", "alice"),
+    ]
+
+    def test_single_type_import(self):
+        result = import_edges(self.TRIPLES)
+        assert len(result.edges) == 4
+        assert len(result.relations) == 2
+        assert len(result.entities["entity"]) == 3
+        assert result.dropped == 0
+        # Ids are consistent: alice→bob under relation follows.
+        ent = result.entities["entity"]
+        rel = result.relations
+        first = list(result.edges)[0]
+        assert first == (
+            ent.id_of("alice"), rel.id_of("follows"), ent.id_of("bob")
+        )
+
+    def test_typed_import_separate_id_spaces(self):
+        triples = [
+            ("u1", "buys", "i1"),
+            ("u2", "buys", "i1"),
+            ("u1", "follows", "u2"),
+        ]
+
+        def type_of(rel):
+            return ("user", "item") if rel == "buys" else ("user", "user")
+
+        result = import_edges(triples, type_of=type_of)
+        assert set(result.entities) == {"user", "item"}
+        assert len(result.entities["user"]) == 2
+        assert len(result.entities["item"]) == 1
+        counts = result.entity_counts()
+        assert counts == {"user": 2, "item": 1}
+
+    def test_min_frequency_filter(self):
+        triples = self.TRIPLES + [("dave", "pokes", "eve")]
+        result = import_edges(triples, min_frequency=2)
+        # dave/eve/pokes appear once → dropped; so does the "likes"
+        # triple (the relation occurs only once), matching the paper's
+        # Freebase filter which covers relations too.
+        assert result.dropped == 2
+        assert "entity" in result.entities
+        assert "dave" not in result.entities["entity"]
+        assert "likes" not in result.relations
+
+    def test_empty_input(self):
+        result = import_edges([])
+        assert len(result.edges) == 0
+
+    def test_save(self, tmp_path):
+        result = import_edges(self.TRIPLES)
+        result.save(tmp_path)
+        assert (tmp_path / "relations.json").exists()
+        assert (tmp_path / "entities_entity.json").exists()
+        with np.load(tmp_path / "edges.npz") as data:
+            assert len(data["src"]) == 4
+
+    def test_import_feeds_training(self):
+        """End-to-end: strings → ids → trained model."""
+        from repro.config import ConfigSchema, EntitySchema, RelationSchema
+        from repro.core.model import EmbeddingModel
+        from repro.core.trainer import Trainer
+        from repro.graph.entity_storage import EntityStorage
+
+        rng = np.random.default_rng(0)
+        triples = [
+            (f"user{i}", "follows", f"user{(i + 1) % 50}")
+            for i in range(50)
+        ] + [
+            (f"user{rng.integers(50)}", "follows", f"user{rng.integers(50)}")
+            for _ in range(300)
+        ]
+        result = import_edges(triples)
+        config = ConfigSchema(
+            entities={"entity": EntitySchema()},
+            relations=[
+                RelationSchema(name="follows", lhs="entity", rhs="entity")
+            ],
+            dimension=8, num_epochs=2, batch_size=64, chunk_size=16,
+            num_batch_negs=4, num_uniform_negs=4,
+        )
+        entities = EntityStorage(result.entity_counts())
+        model = EmbeddingModel(config, entities)
+        stats = Trainer(config, model, entities).train(result.edges)
+        assert stats.total_edges > 0
+
+
+class TestTsvIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        triples = [("a", "r", "b"), ("b", "r2", "c")]
+        write_tsv(path, triples)
+        assert list(read_tsv(path)) == triples
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# header\na\tr\tb\n\nb\tr\tc\n")
+        assert len(list(read_tsv(path))) == 2
+
+    def test_extra_fields_ignored(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tr\tb\t.\n")
+        assert list(read_tsv(path)) == [("a", "r", "b")]
+
+    def test_too_few_fields(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tr\n")
+        with pytest.raises(ValueError, match="expected >= 3"):
+            list(read_tsv(path))
+
+    def test_import_from_tsv_pipeline(self, tmp_path):
+        path = tmp_path / "kg.tsv"
+        write_tsv(path, TestImportEdges.TRIPLES)
+        result = import_edges(read_tsv(path))
+        assert isinstance(result, ImportResult)
+        assert len(result.edges) == 4

@@ -1,0 +1,211 @@
+"""Tests for the distributed lock server."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed.lock_server import LockServer
+from repro.graph.buckets import Bucket
+
+
+def _warmed(p: int) -> LockServer:
+    """Drain one epoch serially so every partition is initialised."""
+    ls = LockServer(p, p)
+    while (b := ls.acquire(0)) is not None:
+        ls.release(0, b)
+    ls.new_epoch()
+    return ls
+
+
+class TestBasicProtocol:
+    def test_acquire_release_cycle(self):
+        ls = LockServer(2, 2)
+        bucket = ls.acquire(0)
+        assert bucket is not None
+        ls.release(0, bucket)
+        assert ls.remaining_count() == 3
+
+    def test_all_buckets_eventually_served(self):
+        ls = LockServer(3, 3)
+        served = []
+        while True:
+            b = ls.acquire(0)
+            if b is None:
+                break
+            served.append(b)
+            ls.release(0, b)
+        assert len(served) == 9
+        assert len(set(served)) == 9
+        assert ls.epoch_done()
+
+    def test_disjoint_partitions_concurrent(self):
+        """Two machines must never hold overlapping partitions.
+
+        (Warm the server through one epoch first — at cold start the
+        alignment invariant serialises on the very first bucket.)
+        """
+        ls = _warmed(4)
+        b0 = ls.acquire(0)
+        b1 = ls.acquire(1)
+        assert b1 is not None
+        assert {b0.lhs, b0.rhs} & {b1.lhs, b1.rhs} == set()
+
+    def test_machine_cannot_double_acquire(self):
+        ls = LockServer(4, 4)
+        ls.acquire(0)
+        with pytest.raises(RuntimeError, match="already holds"):
+            ls.acquire(0)
+
+    def test_release_requires_ownership(self):
+        ls = LockServer(2, 2)
+        b = ls.acquire(0)
+        with pytest.raises(RuntimeError, match="does not hold"):
+            ls.release(1, b)
+
+    def test_p_over_2_machines_busy(self):
+        """On a warmed P x P grid, P/2 machines can hold buckets at once."""
+        p = 8
+        ls = _warmed(p)
+        held = []
+        for m in range(p // 2):
+            b = ls.acquire(m)
+            assert b is not None, f"machine {m} starved"
+            held.append((m, b))
+        # A further machine is starved while all partitions are locked
+        # only if every held bucket uses 2 distinct partitions.
+        used = set()
+        for _, b in held:
+            used.update((b.lhs, b.rhs))
+        if len(used) == p:
+            assert ls.acquire(99) is None
+
+
+class TestInitInvariant:
+    def test_first_bucket_fresh_allowed(self):
+        ls = LockServer(4, 4)
+        assert ls.acquire(0) is not None
+
+    def test_concurrent_fresh_fresh_blocked(self):
+        """While the very first bucket is in flight, a second machine
+        may not open a disjoint (hence doubly-fresh) bucket."""
+        ls = LockServer(4, 4)
+        b0 = ls.acquire(0)
+        b1 = ls.acquire(1)
+        if b1 is not None:
+            # Any bucket granted concurrently must overlap... it can't
+            # (locked) — so it must have been refused.
+            raise AssertionError(f"granted fresh-fresh bucket {b1} next to {b0}")
+        ls.release(0, b0)
+        # Now initialised partitions exist; machine 1 gets a bucket
+        # sharing one of them.
+        b1 = ls.acquire(1)
+        assert b1 is not None
+        assert {b1.lhs, b1.rhs} & {b0.lhs, b0.rhs}
+
+    def test_seen_partition_sequence(self):
+        """Serial consumption respects the alignment invariant."""
+        ls = LockServer(6, 6)
+        seen: set[int] = set()
+        first = True
+        while True:
+            b = ls.acquire(0)
+            if b is None:
+                break
+            if not first:
+                assert {b.lhs, b.rhs} & seen, f"unaligned bucket {b}"
+            seen.update((b.lhs, b.rhs))
+            first = False
+            ls.release(0, b)
+
+    def test_invariant_carries_across_epochs(self):
+        ls = LockServer(2, 2)
+        while True:
+            b = ls.acquire(0)
+            if b is None:
+                break
+            ls.release(0, b)
+        ls.new_epoch()
+        # Second epoch: every partition initialised, any bucket is fine.
+        b = ls.acquire(0)
+        assert b is not None
+
+
+class TestAffinity:
+    def test_prefers_shared_partition(self):
+        ls = LockServer(4, 4)
+        b0 = ls.acquire(0)
+        ls.release(0, b0)
+        b1 = ls.acquire(0)
+        assert {b1.lhs, b1.rhs} & {b0.lhs, b0.rhs}
+        assert ls.stats.affinity_hits >= 1
+
+
+class TestEpochs:
+    def test_new_epoch_restores_buckets(self):
+        ls = LockServer(2, 2)
+        b = ls.acquire(0)
+        ls.release(0, b)
+        assert ls.remaining_count() == 3
+        while (b := ls.acquire(0)) is not None:
+            ls.release(0, b)
+        ls.new_epoch()
+        assert ls.remaining_count() == 4
+
+    def test_new_epoch_with_active_bucket_fails(self):
+        ls = LockServer(2, 2)
+        ls.acquire(0)
+        with pytest.raises(RuntimeError, match="active"):
+            ls.new_epoch()
+
+    def test_stats_counters(self):
+        ls = LockServer(2, 2)
+        b = ls.acquire(0)
+        ls.release(0, b)
+        assert ls.stats.acquires == 1
+        assert ls.stats.epochs == 1
+
+
+class TestConcurrency:
+    def test_threaded_consumption_no_overlap_no_loss(self):
+        """8 threads drain a 8x8 grid; locks must never overlap and all
+        buckets must be served exactly once."""
+        p = 8
+        ls = LockServer(p, p)
+        served: list[Bucket] = []
+        served_lock = threading.Lock()
+        live_partitions: set[int] = set()
+        live_lock = threading.Lock()
+        errors: list[str] = []
+
+        def worker(machine):
+            rng = np.random.default_rng(machine)
+            while True:
+                b = ls.acquire(machine)
+                if b is None:
+                    if ls.epoch_done():
+                        return
+                    continue
+                with live_lock:
+                    if {b.lhs, b.rhs} & live_partitions:
+                        errors.append(f"overlap on {b}")
+                    live_partitions.update((b.lhs, b.rhs))
+                # simulate work
+                for _ in range(int(rng.integers(1, 100))):
+                    pass
+                with live_lock:
+                    live_partitions.difference_update((b.lhs, b.rhs))
+                with served_lock:
+                    served.append(b)
+                ls.release(machine, b)
+
+        threads = [
+            threading.Thread(target=worker, args=(m,)) for m in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(served) == p * p
+        assert len(set(served)) == p * p

@@ -1,0 +1,184 @@
+"""Unit + property tests for training losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import (
+    LOSSES,
+    LogisticLoss,
+    RankingLoss,
+    SoftmaxLoss,
+    make_loss,
+)
+from tests.helpers import assert_grads_close, numerical_gradient
+
+ALL_NAMES = sorted(LOSSES)
+
+
+def _make(name):
+    return make_loss(name, margin=0.25)
+
+
+def test_make_loss_unknown():
+    with pytest.raises(ValueError, match="unknown loss"):
+        make_loss("hinge^2")
+
+
+def test_ranking_negative_margin_rejected():
+    with pytest.raises(ValueError):
+        RankingLoss(-0.1)
+
+
+def test_ranking_manual_case():
+    """Hand-computed margin loss: only violating negatives contribute."""
+    loss_fn = RankingLoss(margin=1.0)
+    pos = np.asarray([2.0])
+    neg = np.asarray([[0.0, 1.5, 3.0]])
+    # violations: 1 - 2 + 0 = -1 (no), 1 - 2 + 1.5 = 0.5, 1 - 2 + 3 = 2
+    loss, gpos, gneg = loss_fn.forward_backward(pos, neg)
+    assert loss == pytest.approx(2.5)
+    np.testing.assert_allclose(gneg, [[0.0, 1.0, 1.0]])
+    np.testing.assert_allclose(gpos, [-2.0])
+
+
+def test_ranking_satisfied_margin_zero_gradient():
+    loss_fn = RankingLoss(margin=0.1)
+    pos = np.asarray([10.0, 10.0])
+    neg = np.zeros((2, 4))
+    loss, gpos, gneg = loss_fn.forward_backward(pos, neg)
+    assert loss == 0.0
+    assert np.all(gpos == 0) and np.all(gneg == 0)
+
+
+def test_logistic_manual_case():
+    loss_fn = LogisticLoss()
+    pos = np.asarray([0.0])
+    neg = np.asarray([[0.0]])
+    loss, gpos, gneg = loss_fn.forward_backward(pos, neg)
+    assert loss == pytest.approx(2 * np.log(2))
+    np.testing.assert_allclose(gpos, [-0.5])
+    np.testing.assert_allclose(gneg, [[0.5]])
+
+
+def test_softmax_uniform_scores():
+    """Equal scores: probability of the positive is 1/(k+1)."""
+    loss_fn = SoftmaxLoss()
+    k = 4
+    pos = np.asarray([1.0])
+    neg = np.ones((1, k))
+    loss, gpos, gneg = loss_fn.forward_backward(pos, neg)
+    assert loss == pytest.approx(np.log(k + 1))
+    assert gpos[0] == pytest.approx(1 / (k + 1) - 1)
+    np.testing.assert_allclose(gneg, np.full((1, k), 1 / (k + 1)))
+
+
+def test_softmax_dominant_positive_low_loss():
+    loss_fn = SoftmaxLoss()
+    pos = np.asarray([50.0])
+    neg = np.zeros((1, 10))
+    loss, _, _ = loss_fn.forward_backward(pos, neg)
+    assert loss < 1e-8
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_mask_blocks_gradient(name):
+    loss_fn = _make(name)
+    rng = np.random.default_rng(0)
+    pos = rng.standard_normal(3)
+    neg = rng.standard_normal((3, 5))
+    mask = np.zeros((3, 5), dtype=bool)
+    mask[:, 0] = True
+    _, _, gneg = loss_fn.forward_backward(pos, neg, mask)
+    assert np.all(gneg[:, 1:] == 0)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_all_masked_is_finite(name):
+    """Fully-masked rows (every candidate was an induced positive)."""
+    loss_fn = _make(name)
+    pos = np.asarray([1.0, -1.0])
+    neg = np.ones((2, 3))
+    mask = np.zeros((2, 3), dtype=bool)
+    loss, gpos, gneg = loss_fn.forward_backward(pos, neg, mask)
+    assert np.isfinite(loss)
+    assert np.isfinite(gpos).all() and np.isfinite(gneg).all()
+    assert np.all(gneg == 0)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_weights_scale_loss_and_grads(name):
+    loss_fn = _make(name)
+    rng = np.random.default_rng(1)
+    pos = rng.standard_normal(4)
+    neg = rng.standard_normal((4, 3))
+    base_loss, base_gpos, base_gneg = loss_fn.forward_backward(pos, neg)
+    w = np.full(4, 2.5)
+    loss, gpos, gneg = loss_fn.forward_backward(pos, neg, weights=w)
+    assert loss == pytest.approx(2.5 * base_loss)
+    np.testing.assert_allclose(gpos, 2.5 * base_gpos)
+    np.testing.assert_allclose(gneg, 2.5 * base_gneg)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_input_validation(name):
+    loss_fn = _make(name)
+    with pytest.raises(ValueError):
+        loss_fn.forward_backward(np.ones((2, 2)), np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        loss_fn.forward_backward(np.ones(2), np.ones((3, 4)))
+    with pytest.raises(ValueError):
+        loss_fn.forward_backward(
+            np.ones(2), np.ones((2, 3)), np.ones((2, 3))  # non-bool mask
+        )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 4),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_gradients_match_numerical(name, n, k, seed):
+    loss_fn = _make(name)
+    rng = np.random.default_rng(seed)
+    pos = rng.standard_normal(n)
+    neg = rng.standard_normal((n, k))
+    mask = rng.random((n, k)) < 0.8
+    w = rng.random(n) + 0.5
+
+    _, gpos, gneg = loss_fn.forward_backward(pos, neg, mask, w)
+
+    def loss_of_pos(p_):
+        return loss_fn.forward_backward(p_, neg, mask, w)[0]
+
+    def loss_of_neg(n_):
+        return loss_fn.forward_backward(pos, n_, mask, w)[0]
+
+    # Margin loss is piecewise linear; skip points near its kinks where
+    # central differences straddle the hinge.
+    if name == "ranking":
+        violation = 0.25 - pos[:, None] + neg
+        if np.any(np.abs(violation) < 1e-4):
+            return
+    assert_grads_close(gpos, numerical_gradient(loss_of_pos, pos.copy()))
+    assert_grads_close(
+        gneg, numerical_gradient(loss_of_neg, neg.copy())
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 4),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_losses_nonnegative(n, k, seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.standard_normal(n)
+    neg = rng.standard_normal((n, k))
+    for name in ALL_NAMES:
+        loss, _, _ = _make(name).forward_backward(pos, neg)
+        assert loss >= -1e-12

@@ -1,0 +1,392 @@
+"""Tests for the embedding model: scoring semantics and the full
+forward/backward against numerical differentiation.
+
+The backward test is the strongest correctness check in the suite: it
+records the row gradients the model sends to its tables and compares
+every one against a central-difference derivative of the (negative-
+sampling-deterministic) chunk loss with respect to that embedding row.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigSchema, EntitySchema, RelationSchema
+from repro.core.model import EmbeddingModel
+from repro.core.tables import DenseEmbeddingTable
+from repro.graph.entity_storage import EntityStorage
+from tests.helpers import assert_grads_close
+
+
+def _config(operator="translation", comparator="dot", loss="ranking",
+            disable_batch_negs=False, dimension=6, **kw):
+    return ConfigSchema(
+        entities={"node": EntitySchema()},
+        relations=[
+            RelationSchema(name="r0", lhs="node", rhs="node", operator=operator),
+            RelationSchema(name="r1", lhs="node", rhs="node", operator=operator),
+        ],
+        dimension=dimension,
+        comparator=comparator,
+        loss=loss,
+        margin=0.2,
+        num_batch_negs=3,
+        num_uniform_negs=4,
+        disable_batch_negs=disable_batch_negs,
+        lr=0.05,
+        **kw,
+    )
+
+
+def _model(config, n=12, seed=0, dtype=np.float64):
+    entities = EntityStorage({"node": n})
+    model = EmbeddingModel(config, entities, np.random.default_rng(seed), dtype)
+    model.init_all_partitions(np.random.default_rng(seed + 1))
+    return model
+
+
+class TestScoringSemantics:
+    def test_identity_dot_is_plain_dot(self):
+        model = _model(_config(operator="identity"))
+        t = model.get_table("node", 0)
+        s, d = t.weights[:3], t.weights[3:6]
+        scores = model.score_pairs(0, s, d)
+        np.testing.assert_allclose(scores, np.einsum("nd,nd->n", s, d))
+
+    def test_translation_l2_is_transe(self):
+        model = _model(_config(operator="translation", comparator="l2"))
+        rng = np.random.default_rng(1)
+        model.rel_params[0][:] = rng.standard_normal(6)
+        t = model.get_table("node", 0)
+        s, d = t.weights[:2], t.weights[2:4]
+        scores = model.score_pairs(0, s, d)
+        theta = model.rel_params[0]
+        # PBG applies the operator to the destination; with L2 the score
+        # -||s - (d + θ)||² is TransE up to the sign convention of θ.
+        expect = -np.sum((s - (d + theta)) ** 2, axis=1)
+        np.testing.assert_allclose(scores, expect, rtol=1e-6)
+
+    def test_diagonal_dot_is_distmult(self):
+        model = _model(_config(operator="diagonal"))
+        rng = np.random.default_rng(2)
+        model.rel_params[0][:] = rng.standard_normal(6)
+        t = model.get_table("node", 0)
+        s, d = t.weights[:2], t.weights[2:4]
+        scores = model.score_pairs(0, s, d)
+        expect = np.einsum("nd,d,nd->n", s, model.rel_params[0], d)
+        np.testing.assert_allclose(scores, expect, rtol=1e-6)
+
+    def test_complex_diagonal_dot_is_complex(self):
+        model = _model(_config(operator="complex_diagonal"))
+        rng = np.random.default_rng(3)
+        model.rel_params[0][:] = rng.standard_normal(6)
+        t = model.get_table("node", 0)
+        s, d = t.weights[:2], t.weights[2:4]
+        scores = model.score_pairs(0, s, d)
+        h = 3
+        sc = s[:, :h] + 1j * s[:, h:]
+        dc = d[:, :h] + 1j * d[:, h:]
+        rc = model.rel_params[0][:h] + 1j * model.rel_params[0][h:]
+        # Re<conj(s), r, d> — ComplEx up to global conjugation.
+        expect = np.real(np.sum(np.conj(sc) * rc * dc, axis=1))
+        np.testing.assert_allclose(scores, expect, rtol=1e-6)
+
+    def test_linear_dot_is_rescal(self):
+        model = _model(_config(operator="linear"))
+        rng = np.random.default_rng(4)
+        model.rel_params[0][:] = rng.standard_normal((6, 6))
+        t = model.get_table("node", 0)
+        s, d = t.weights[:2], t.weights[2:4]
+        scores = model.score_pairs(0, s, d)
+        expect = np.einsum("ni,ij,nj->n", s, model.rel_params[0], d)
+        np.testing.assert_allclose(scores, expect, rtol=1e-6)
+
+    def test_score_pools_match_pairs(self):
+        model = _model(_config(operator="translation", comparator="cos"))
+        t = model.get_table("node", 0)
+        src = t.weights[:3]
+        pool = t.weights[5:9]
+        mat = model.score_dst_pool(0, src, pool)
+        for i in range(3):
+            for j in range(4):
+                pair = model.score_pairs(
+                    0, src[i : i + 1], pool[j : j + 1]
+                )
+                assert mat[i, j] == pytest.approx(pair[0], rel=1e-6)
+        mat_src = model.score_src_pool(0, src, pool)
+        for i in range(3):
+            for j in range(4):
+                pair = model.score_pairs(
+                    0, pool[j : j + 1], src[i : i + 1]
+                )
+                assert mat_src[i, j] == pytest.approx(pair[0], rel=1e-6)
+
+    def test_relations_have_independent_params(self):
+        model = _model(_config(operator="translation"))
+        model.rel_params[0][:] = 1.0
+        model.rel_params[1][:] = -1.0
+        t = model.get_table("node", 0)
+        s, d = t.weights[:1], t.weights[1:2]
+        assert model.score_pairs(0, s, d) != pytest.approx(
+            model.score_pairs(1, s, d)
+        )
+
+
+class _RecordingTable(DenseEmbeddingTable):
+    """Captures gradient calls instead of applying them."""
+
+    def __init__(self, weights):
+        super().__init__(weights.copy())
+        self.calls: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def apply_gradients(self, rows, grads, lr):
+        self.calls.append((rows.copy(), grads.copy()))
+
+    def dense_gradient(self) -> np.ndarray:
+        out = np.zeros_like(self.weights)
+        for rows, grads in self.calls:
+            np.add.at(out, rows, grads)
+        return out
+
+
+@pytest.mark.parametrize("operator", [
+    "identity", "translation", "diagonal", "linear", "complex_diagonal",
+])
+@pytest.mark.parametrize("comparator", ["dot", "cos", "l2"])
+@pytest.mark.parametrize("loss", ["ranking", "logistic", "softmax"])
+def test_chunk_backward_matches_numerical(operator, comparator, loss):
+    """End-to-end gradient check through sampling, scoring and loss."""
+    _chunk_gradcheck(operator, comparator, loss, disable_batch_negs=False)
+
+
+@pytest.mark.parametrize("operator", ["translation", "complex_diagonal"])
+@pytest.mark.parametrize("comparator", ["dot", "cos", "l2"])
+def test_unbatched_backward_matches_numerical(operator, comparator):
+    """The Figure 4 unbatched path must compute the same math."""
+    _chunk_gradcheck(operator, comparator, "logistic", disable_batch_negs=True)
+
+
+def _chunk_gradcheck(operator, comparator, loss, disable_batch_negs):
+    config = _config(
+        operator=operator, comparator=comparator, loss=loss,
+        disable_batch_negs=disable_batch_negs,
+    )
+    n = 12
+    base = _model(config, n=n, seed=5)
+    weights0 = base.get_table("node", 0).weights.copy()
+    params0 = [p.copy() for p in base.rel_params]
+    src = np.asarray([0, 1, 2])
+    dst = np.asarray([3, 4, 3])
+
+    def run(weights, rel_params, update=False, table_cls=DenseEmbeddingTable):
+        model = _model(config, n=n, seed=5)
+        table = table_cls(weights.copy())
+        model.set_table("node", 0, table)
+        for i, p in enumerate(rel_params):
+            model.rel_params[i][:] = p
+        stats = model.forward_backward_chunk(
+            0, src, dst, table, table,
+            np.random.default_rng(99), update=update,
+        )
+        return stats.loss, model, table
+
+    # Margin-loss kinks break central differences; nudge away if close.
+    loss0, _, _ = run(weights0, params0)
+
+    # Analytic gradients via a recording table + recording optimizer.
+    _, model_rec, rec_table = run(
+        weights0, params0, update=True, table_cls=_RecordingTable
+    )
+    analytic_w = rec_table.dense_gradient()
+
+    # Numerical gradient over every embedding entry.
+    eps = 1e-6
+    numeric_w = np.zeros_like(weights0)
+    it = np.nditer(weights0, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        w_plus = weights0.copy()
+        w_plus[idx] += eps
+        w_minus = weights0.copy()
+        w_minus[idx] -= eps
+        lp, _, _ = run(w_plus, params0)
+        lm, _, _ = run(w_minus, params0)
+        numeric_w[idx] = (lp - lm) / (2 * eps)
+    if loss == "ranking" and np.abs(analytic_w - numeric_w).max() > 1e-3:
+        pytest.skip("hinge kink straddled; gradient undefined at this point")
+    assert_grads_close(analytic_w, numeric_w, atol=2e-4, rtol=1e-3)
+
+
+def test_relation_param_gradient_matches_numerical():
+    """Relation-operator parameter gradients through the whole chunk."""
+    config = _config(operator="translation", comparator="dot", loss="logistic")
+    n = 10
+    base = _model(config, n=n, seed=6)
+    weights0 = base.get_table("node", 0).weights.copy()
+    rng0 = np.random.default_rng(7)
+    params0 = [rng0.standard_normal(6), rng0.standard_normal(6)]
+    src = np.asarray([0, 1])
+    dst = np.asarray([2, 3])
+
+    captured = {}
+
+    def run(rel0, update=False):
+        model = _model(config, n=n, seed=6)
+        table = DenseEmbeddingTable(weights0.copy())
+        model.set_table("node", 0, table)
+        model.rel_params[0][:] = rel0
+        model.rel_params[1][:] = params0[1]
+        if update:
+            original = model.rel_optimizers[0].step
+
+            def spy(params, grads, lr):
+                captured["grad"] = grads.copy()
+
+            model.rel_optimizers[0].step = spy
+            del original
+        stats = model.forward_backward_chunk(
+            0, src, dst, table, table,
+            np.random.default_rng(123), update=update,
+        )
+        return stats.loss
+
+    run(params0[0], update=True)
+    analytic = captured["grad"]
+    eps = 1e-6
+    numeric = np.zeros(6)
+    for i in range(6):
+        p_plus = params0[0].copy()
+        p_plus[i] += eps
+        p_minus = params0[0].copy()
+        p_minus[i] -= eps
+        numeric[i] = (run(p_plus) - run(p_minus)) / (2 * eps)
+    assert_grads_close(analytic, numeric, atol=1e-4, rtol=1e-3)
+
+
+class TestChunkBehaviour:
+    def test_empty_chunk(self):
+        config = _config()
+        model = _model(config)
+        table = model.get_table("node", 0)
+        stats = model.forward_backward_chunk(
+            0, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            table, table, np.random.default_rng(0),
+        )
+        assert stats.loss == 0.0 and stats.num_edges == 0
+
+    def test_update_changes_touched_rows_only(self):
+        config = _config(loss="logistic")
+        model = _model(config, n=20)
+        table = model.get_table("node", 0)
+        before = table.weights.copy()
+        src = np.asarray([0, 1])
+        dst = np.asarray([2, 3])
+        rng = np.random.default_rng(0)
+        model.forward_backward_chunk(0, src, dst, table, table, rng)
+        # Rows outside {src, dst, sampled negatives} must be unchanged;
+        # at minimum the positive rows moved.
+        assert not np.allclose(table.weights[0], before[0])
+        assert not np.allclose(table.weights[2], before[2])
+
+    def test_repeated_steps_reduce_loss(self):
+        config = _config(loss="logistic", dimension=8)
+        model = _model(config, n=30, dtype=np.float32)
+        table = model.get_table("node", 0)
+        rng = np.random.default_rng(1)
+        src = np.arange(10)
+        dst = (src + 1) % 30
+        losses = []
+        for _ in range(150):
+            stats = model.forward_backward_chunk(
+                0, src, dst, table, table, rng
+            )
+            losses.append(stats.mean_loss)
+        assert np.mean(losses[-5:]) < np.mean(losses[:5]) * 0.8
+
+    def test_edge_weights_scale_updates(self):
+        config = _config(loss="logistic")
+        m1 = _model(config, n=10, seed=8)
+        m2 = _model(config, n=10, seed=8)
+        t1, t2 = m1.get_table("node", 0), m2.get_table("node", 0)
+        src, dst = np.asarray([0]), np.asarray([1])
+        s1 = m1.forward_backward_chunk(
+            0, src, dst, t1, t1, np.random.default_rng(3),
+            edge_weights=np.asarray([1.0]), update=False,
+        )
+        s2 = m2.forward_backward_chunk(
+            0, src, dst, t2, t2, np.random.default_rng(3),
+            edge_weights=np.asarray([3.0]), update=False,
+        )
+        assert s2.loss == pytest.approx(3.0 * s1.loss, rel=1e-6)
+
+    def test_relation_weight_scales_loss(self):
+        config_w = ConfigSchema(
+            entities={"node": EntitySchema()},
+            relations=[
+                RelationSchema(name="r0", lhs="node", rhs="node", weight=2.0)
+            ],
+            dimension=6, loss="logistic",
+            num_batch_negs=2, num_uniform_negs=2,
+        )
+        config_1 = config_w.replace(
+            relations=[RelationSchema(name="r0", lhs="node", rhs="node")]
+        )
+        m_w = _model(config_w, n=10, seed=9)
+        m_1 = _model(config_1, n=10, seed=9)
+        src, dst = np.asarray([0, 1]), np.asarray([2, 3])
+        s_w = m_w.forward_backward_chunk(
+            0, src, dst, m_w.get_table("node", 0), m_w.get_table("node", 0),
+            np.random.default_rng(4), update=False,
+        )
+        s_1 = m_1.forward_backward_chunk(
+            0, src, dst, m_1.get_table("node", 0), m_1.get_table("node", 0),
+            np.random.default_rng(4), update=False,
+        )
+        assert s_w.loss == pytest.approx(2.0 * s_1.loss, rel=1e-6)
+
+
+class TestModelManagement:
+    def test_global_embeddings_roundtrip(self):
+        from repro.graph.partitioning import partition_entities
+
+        config = ConfigSchema(
+            entities={"node": EntitySchema(num_partitions=3)},
+            relations=[RelationSchema(name="r", lhs="node", rhs="node")],
+            dimension=4,
+        )
+        entities = EntityStorage({"node": 10})
+        entities.set_partitioning(
+            "node", partition_entities(10, 3, np.random.default_rng(0))
+        )
+        model = EmbeddingModel(config, entities)
+        model.init_all_partitions(np.random.default_rng(1))
+        emb = model.global_embeddings("node")
+        assert emb.shape == (10, 4)
+        # Row i must equal its partition-local row.
+        p = entities.partitioning("node")
+        for i in range(10):
+            part, off = int(p.part_of[i]), int(p.offset_of[i])
+            np.testing.assert_allclose(
+                emb[i], model.get_table("node", part).weights[off]
+            )
+
+    def test_missing_table_error(self):
+        config = _config()
+        model = EmbeddingModel(config, EntityStorage({"node": 5}))
+        with pytest.raises(KeyError, match="not resident"):
+            model.get_table("node", 0)
+
+    def test_shared_params_roundtrip(self):
+        model = _model(_config(operator="translation"))
+        params = model.get_shared_params()
+        assert set(params) == {"rel_0", "rel_1"}
+        params["rel_0"] += 1.0
+        model.set_shared_params(params)
+        np.testing.assert_allclose(model.rel_params[0], params["rel_0"])
+
+    def test_resident_nbytes_grows_with_tables(self):
+        config = _config()
+        entities = EntityStorage({"node": 100})
+        model = EmbeddingModel(config, entities)
+        empty = model.resident_nbytes()
+        model.init_partition("node", 0, np.random.default_rng(0))
+        assert model.resident_nbytes() > empty

@@ -1,0 +1,160 @@
+"""Tests for batched / unbatched negative sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.negatives import (
+    PrevalenceSampler,
+    sample_pool,
+    sample_unbatched,
+)
+
+
+class TestSamplePool:
+    def test_reuses_chunk_when_counts_match(self):
+        """num_batch_negs == chunk size → the chunk itself is the pool."""
+        rng = np.random.default_rng(0)
+        chunk = np.asarray([7, 8, 9])
+        pool = sample_pool(chunk, chunk, 100, 3, 0, rng)
+        np.testing.assert_array_equal(pool.entities, chunk)
+
+    def test_pool_composition_sizes(self):
+        rng = np.random.default_rng(1)
+        chunk = np.arange(5)
+        pool = sample_pool(chunk, chunk, 50, 5, 7, rng)
+        assert pool.num_candidates == 12
+        assert pool.mask.shape == (5, 12)
+
+    def test_mask_excludes_induced_positives(self):
+        """The paper's Figure 3: the true endpoint is masked per edge."""
+        rng = np.random.default_rng(2)
+        chunk = np.asarray([1, 2, 3])
+        pool = sample_pool(chunk, chunk, 10, 3, 0, rng)
+        # entity j == true entity of edge i exactly on the diagonal here
+        np.testing.assert_array_equal(
+            pool.mask, ~np.eye(3, dtype=bool)
+        )
+
+    def test_mask_catches_duplicate_entities(self):
+        """If an entity appears twice in the chunk, both pool slots are
+        masked for an edge whose truth is that entity."""
+        rng = np.random.default_rng(3)
+        chunk = np.asarray([4, 4, 5])
+        pool = sample_pool(chunk, chunk, 10, 3, 0, rng)
+        assert not pool.mask[0, 0] and not pool.mask[0, 1]
+        assert not pool.mask[1, 0] and not pool.mask[1, 1]
+        assert pool.mask[2, 0] and pool.mask[2, 1] and not pool.mask[2, 2]
+
+    def test_uniform_negatives_in_range(self):
+        rng = np.random.default_rng(4)
+        chunk = np.asarray([0])
+        pool = sample_pool(chunk, chunk, 17, 0, 1000, rng)
+        assert pool.entities.min() >= 0 and pool.entities.max() < 17
+
+    def test_subsampled_batch_negatives_from_chunk(self):
+        rng = np.random.default_rng(5)
+        chunk = np.asarray([10, 20, 30])
+        pool = sample_pool(chunk, chunk, 100, 7, 0, rng)
+        assert pool.num_candidates == 7
+        assert set(pool.entities.tolist()) <= {10, 20, 30}
+
+    def test_empty_pool_rejected(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            sample_pool(np.asarray([1]), np.asarray([1]), 10, 0, 0, rng)
+
+    def test_negative_counts_rejected(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            sample_pool(np.asarray([1]), np.asarray([1]), 10, -1, 5, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        c=st.integers(1, 10),
+        nb=st.integers(0, 10),
+        nu=st.integers(0, 10),
+        n=st.integers(2, 50),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_mask_correctness_property(self, c, nb, nu, n, seed):
+        """mask[i, j] is False exactly when pool[j] == truth[i]."""
+        if nb == 0 and nu == 0:
+            return
+        rng = np.random.default_rng(seed)
+        chunk = rng.integers(0, n, size=c)
+        pool = sample_pool(chunk, chunk, n, nb, nu, rng)
+        expect = pool.entities[None, :] != chunk[:, None]
+        np.testing.assert_array_equal(pool.mask, expect)
+
+
+class TestSampleUnbatched:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        true = np.asarray([1, 2, 3, 4])
+        negs = sample_unbatched(true, 100, 7, rng)
+        assert negs.entities.shape == (4, 7)
+        assert negs.mask.shape == (4, 7)
+
+    def test_mask_blocks_collisions(self):
+        rng = np.random.default_rng(1)
+        true = np.zeros(50, dtype=np.int64)
+        negs = sample_unbatched(true, 2, 10, rng)
+        np.testing.assert_array_equal(negs.mask, negs.entities != 0)
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            sample_unbatched(np.asarray([1]), 10, 0, rng)
+        with pytest.raises(ValueError):
+            sample_unbatched(np.asarray([1]), 0, 5, rng)
+
+
+class TestPrevalenceSampler:
+    def test_respects_frequencies(self):
+        counts = np.asarray([1000, 0, 10])
+        sampler = PrevalenceSampler(counts)
+        rng = np.random.default_rng(0)
+        draws = sampler.sample(20_000, rng)
+        freq = np.bincount(draws, minlength=3) / len(draws)
+        assert freq[0] > 0.95
+        assert freq[1] == 0.0
+        assert freq[2] > 0.0
+
+    def test_from_edges_degree_weighting(self):
+        src = np.asarray([0, 0, 0, 1])
+        dst = np.asarray([1, 1, 2, 2])
+        sampler = PrevalenceSampler.from_edges(src, dst, 4)
+        rng = np.random.default_rng(1)
+        draws = sampler.sample(10_000, rng)
+        freq = np.bincount(draws, minlength=4)
+        assert freq[0] > freq[3] == 0
+        assert freq[2] > 0
+
+    def test_tuple_size(self):
+        sampler = PrevalenceSampler(np.ones(5))
+        draws = sampler.sample((3, 4), np.random.default_rng(2))
+        assert draws.shape == (3, 4)
+        assert draws.min() >= 0 and draws.max() < 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrevalenceSampler(np.zeros(3))
+        with pytest.raises(ValueError):
+            PrevalenceSampler(np.asarray([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            PrevalenceSampler(np.empty(0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 30), seed=st.integers(0, 2**31 - 1))
+    def test_draws_in_range(self, n, seed):
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, 100, size=n) + (np.arange(n) == 0)
+        counts[0] += 1  # ensure positive total
+        sampler = PrevalenceSampler(counts)
+        draws = sampler.sample(100, rng)
+        assert draws.min() >= 0 and draws.max() < n
+        # Zero-count entities are never drawn.
+        zero = np.flatnonzero(counts == 0)
+        assert not np.isin(draws, zero).any()

@@ -1,0 +1,77 @@
+"""Tests for nearest-neighbour search."""
+
+import numpy as np
+import pytest
+
+from repro.eval.neighbors import NearestNeighbors
+
+
+def _clustered(n_per=20, c=4, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((c, d)) * 5
+    emb = np.vstack(
+        [centers[i] + 0.2 * rng.standard_normal((n_per, d)) for i in range(c)]
+    )
+    labels = np.repeat(np.arange(c), n_per)
+    return emb.astype(np.float32), labels
+
+
+class TestNearestNeighbors:
+    def test_exact_against_bruteforce(self):
+        emb, _ = _clustered()
+        nn = NearestNeighbors(emb, "dot", chunk_size=7)  # force chunking
+        q = emb[:5]
+        idx, scores = nn.query(q, k=10)
+        brute = q @ emb.T
+        for i in range(5):
+            expect = np.argsort(-brute[i])[:10]
+            np.testing.assert_array_equal(np.sort(idx[i]), np.sort(expect))
+            np.testing.assert_allclose(
+                scores[i], np.sort(brute[i])[::-1][:10], rtol=1e-5
+            )
+
+    def test_scores_sorted_descending(self):
+        emb, _ = _clustered()
+        nn = NearestNeighbors(emb, "cos")
+        _, scores = nn.query(emb[:3], k=8)
+        assert np.all(np.diff(scores, axis=1) <= 1e-7)
+
+    def test_neighbors_within_cluster(self):
+        emb, labels = _clustered()
+        nn = NearestNeighbors(emb, "cos")
+        idx, _ = nn.neighbors_of(0, k=10)
+        assert (labels[idx] == labels[0]).mean() > 0.9
+        assert 0 not in idx  # self excluded
+
+    def test_l2_comparator(self):
+        emb, _ = _clustered()
+        nn = NearestNeighbors(emb, "l2")
+        idx, scores = nn.neighbors_of(5, k=3)
+        # Negative squared distances: all <= 0, nearest first.
+        assert np.all(scores <= 0)
+        dists = np.linalg.norm(emb - emb[5], axis=1)
+        expect = np.argsort(dists)[1:4]
+        np.testing.assert_array_equal(np.sort(idx), np.sort(expect))
+
+    def test_exclude_self_per_query(self):
+        emb, _ = _clustered()
+        nn = NearestNeighbors(emb, "dot")
+        idx, _ = nn.query(emb[:4], k=5, exclude_self=np.arange(4))
+        for i in range(4):
+            assert i not in idx[i]
+
+    def test_validation(self):
+        emb, _ = _clustered()
+        with pytest.raises(ValueError, match="\\(n, d\\)"):
+            NearestNeighbors(np.zeros(5))
+        nn = NearestNeighbors(emb)
+        with pytest.raises(ValueError, match="dim"):
+            nn.query(np.zeros((1, 3)), k=2)
+        with pytest.raises(ValueError, match="k must be"):
+            nn.query(emb[:1], k=0)
+
+    def test_single_vector_query(self):
+        emb, _ = _clustered()
+        nn = NearestNeighbors(emb, "cos")
+        idx, scores = nn.query(emb[0], k=3)
+        assert idx.shape == (1, 3)

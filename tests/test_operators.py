@@ -1,0 +1,192 @@
+"""Unit + property tests for relation operators.
+
+The operators' hand-derived backward passes are the foundation of the
+whole training stack, so every operator is checked against numerical
+differentiation for both its embedding gradient and its parameter
+gradient, over hypothesis-generated shapes and values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators import (
+    OPERATORS,
+    ComplexDiagonalOperator,
+    DiagonalOperator,
+    IdentityOperator,
+    LinearOperator,
+    TranslationOperator,
+    make_operator,
+)
+from tests.helpers import assert_grads_close, numerical_gradient
+
+ALL_NAMES = sorted(OPERATORS)
+
+
+def _rand_params(op, rng):
+    """Random (non-identity) parameters of the right shape."""
+    shape = op.param_shape()
+    return rng.standard_normal(shape) if shape != (0,) else np.zeros((0,))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_make_operator_roundtrip(name):
+    op = make_operator(name, 8)
+    assert op.dim == 8
+    params = op.init_params(np.random.default_rng(0))
+    assert params.shape == op.param_shape()
+
+
+def test_make_operator_unknown():
+    with pytest.raises(ValueError, match="unknown operator"):
+        make_operator("frobnicate", 8)
+
+
+def test_complex_diagonal_requires_even_dim():
+    with pytest.raises(ValueError, match="even dimension"):
+        ComplexDiagonalOperator(7)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_forward_shape(name):
+    dim = 6
+    op = make_operator(name, dim)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((5, dim))
+    out = op.forward(x, _rand_params(op, rng))
+    assert out.shape == (5, dim)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_init_params_is_identity_map(name):
+    """Fresh parameters must leave inputs unchanged (stable warm start)."""
+    dim = 6
+    op = make_operator(name, dim)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((4, dim))
+    params = op.init_params(rng)
+    if name == "translation":
+        np.testing.assert_allclose(op.forward(x, params), x)
+    elif name in ("identity", "diagonal", "linear", "complex_diagonal"):
+        np.testing.assert_allclose(op.forward(x, params), x, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 7),
+    dim_half=st.integers(1, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_gradients_match_numerical(name, n, dim_half, seed):
+    dim = 2 * dim_half  # even for complex_diagonal
+    op = make_operator(name, dim)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, dim))
+    params = _rand_params(op, rng)
+    grad_out = rng.standard_normal((n, dim))
+
+    def loss_of_x(x_):
+        return float((op.forward(x_, params) * grad_out).sum())
+
+    grad_x, grad_p = op.backward(x, params, grad_out)
+    assert_grads_close(grad_x, numerical_gradient(loss_of_x, x.copy()))
+
+    if params.size:
+        def loss_of_p(p_):
+            return float((op.forward(x, p_) * grad_out).sum())
+
+        assert_grads_close(grad_p, numerical_gradient(loss_of_p, params.copy()))
+
+
+def test_identity_has_no_params():
+    op = IdentityOperator(4)
+    assert op.param_shape() == (0,)
+    x = np.ones((2, 4))
+    out = op.forward(x, np.zeros(0))
+    assert out is x  # zero-copy
+
+
+def test_translation_matches_manual():
+    op = TranslationOperator(3)
+    x = np.asarray([[1.0, 2.0, 3.0]])
+    theta = np.asarray([10.0, 20.0, 30.0])
+    np.testing.assert_allclose(op.forward(x, theta), [[11.0, 22.0, 33.0]])
+
+
+def test_diagonal_matches_manual():
+    op = DiagonalOperator(3)
+    x = np.asarray([[1.0, 2.0, 3.0]])
+    theta = np.asarray([2.0, 0.5, -1.0])
+    np.testing.assert_allclose(op.forward(x, theta), [[2.0, 1.0, -3.0]])
+
+
+def test_linear_matches_matmul():
+    op = LinearOperator(3)
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((4, 3))
+    a = rng.standard_normal((3, 3))
+    np.testing.assert_allclose(op.forward(x, a), x @ a.T)
+
+
+def test_complex_diagonal_matches_complex_arithmetic():
+    """The real-valued implementation must equal true ℂ multiplication."""
+    dim = 8
+    op = ComplexDiagonalOperator(dim)
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((5, dim))
+    params = rng.standard_normal(dim)
+    h = dim // 2
+    xc = x[:, :h] + 1j * x[:, h:]
+    pc = params[:h] + 1j * params[h:]
+    expect = pc * xc
+    out = op.forward(x, params)
+    np.testing.assert_allclose(out[:, :h], expect.real, atol=1e-12)
+    np.testing.assert_allclose(out[:, h:], expect.imag, atol=1e-12)
+
+
+def test_complex_diagonal_real_params_reduce_to_diagonal():
+    """With zero imaginary parts, complex mult == elementwise mult."""
+    dim = 6
+    cop = ComplexDiagonalOperator(dim)
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((3, dim))
+    h = dim // 2
+    params = np.zeros(dim)
+    params[:h] = rng.standard_normal(h)
+    out = cop.forward(x, params)
+    np.testing.assert_allclose(out[:, :h], x[:, :h] * params[:h])
+    np.testing.assert_allclose(out[:, h:], x[:, h:] * params[:h])
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_shape_validation(name):
+    op = make_operator(name, 4)
+    rng = np.random.default_rng(6)
+    good_params = _rand_params(op, rng)
+    with pytest.raises(ValueError):
+        op.forward(rng.standard_normal((3, 5)), good_params)  # wrong dim
+    if good_params.size:
+        with pytest.raises(ValueError):
+            op.forward(
+                rng.standard_normal((3, 4)), rng.standard_normal((1,))
+            )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_backward_accumulates_over_rows(name):
+    """Parameter gradient must sum over the batch dimension."""
+    dim = 4
+    op = make_operator(name, dim)
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((6, dim))
+    params = _rand_params(op, rng)
+    g = rng.standard_normal((6, dim))
+    _, gp_full = op.backward(x, params, g)
+    gp_sum = np.zeros_like(gp_full)
+    for i in range(6):
+        _, gp_i = op.backward(x[i : i + 1], params, g[i : i + 1])
+        gp_sum += gp_i
+    np.testing.assert_allclose(gp_full, gp_sum, atol=1e-10)

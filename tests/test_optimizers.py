@@ -1,0 +1,163 @@
+"""Tests for row-wise and dense Adagrad."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizers import (
+    DenseAdagrad,
+    RowAdagrad,
+    accumulate_duplicate_rows,
+)
+
+
+class TestAccumulateDuplicateRows:
+    def test_no_duplicates_passthrough(self):
+        rows = np.asarray([3, 1, 2])
+        grads = np.arange(9.0).reshape(3, 3)
+        urows, ugrads = accumulate_duplicate_rows(rows, grads)
+        np.testing.assert_array_equal(urows, [1, 2, 3])
+        np.testing.assert_allclose(ugrads, grads[[1, 2, 0]])
+
+    def test_duplicates_summed(self):
+        rows = np.asarray([5, 5, 2, 5])
+        grads = np.asarray([[1.0], [2.0], [10.0], [4.0]])
+        urows, ugrads = accumulate_duplicate_rows(rows, grads)
+        np.testing.assert_array_equal(urows, [2, 5])
+        np.testing.assert_allclose(ugrads, [[10.0], [7.0]])
+
+    def test_empty(self):
+        rows = np.empty(0, dtype=np.int64)
+        grads = np.empty((0, 4))
+        urows, ugrads = accumulate_duplicate_rows(rows, grads)
+        assert len(urows) == 0 and len(ugrads) == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accumulate_duplicate_rows(np.zeros(3, dtype=int), np.zeros((2, 4)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 30),
+        n_rows=st.integers(1, 8),
+        d=st.integers(1, 5),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_sum_preserved(self, m, n_rows, d, seed):
+        """Scattering the output equals scattering the input."""
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, n_rows, size=m)
+        grads = rng.standard_normal((m, d))
+        urows, ugrads = accumulate_duplicate_rows(rows, grads)
+        dense_in = np.zeros((n_rows, d))
+        np.add.at(dense_in, rows, grads)
+        dense_out = np.zeros((n_rows, d))
+        dense_out[urows] = ugrads
+        np.testing.assert_allclose(dense_in, dense_out, atol=1e-12)
+        assert len(np.unique(urows)) == len(urows)
+
+
+class TestRowAdagrad:
+    def test_first_step_is_normalised_gradient(self):
+        """After one step, update ≈ lr * g / ||g||_rms."""
+        opt = RowAdagrad(3)
+        params = np.zeros((3, 2))
+        g = np.asarray([[3.0, 4.0]])
+        opt.step(params, np.asarray([1]), g, lr=0.5)
+        rms = np.sqrt((9 + 16) / 2)
+        np.testing.assert_allclose(
+            params[1], -0.5 * g[0] / rms, rtol=1e-5
+        )
+        assert np.all(params[0] == 0) and np.all(params[2] == 0)
+
+    def test_state_accumulates_monotonically(self):
+        opt = RowAdagrad(2)
+        params = np.zeros((2, 3))
+        prev = 0.0
+        for seed in range(5):
+            g = np.random.default_rng(seed).standard_normal((1, 3))
+            opt.step(params, np.asarray([0]), g, lr=0.1)
+            assert opt.state[0] >= prev
+            prev = opt.state[0]
+        assert opt.state[1] == 0.0
+
+    def test_steps_shrink_over_time(self):
+        """Same gradient repeatedly → smaller and smaller updates."""
+        opt = RowAdagrad(1)
+        params = np.zeros((1, 2))
+        g = np.ones((1, 2))
+        deltas = []
+        prev = params.copy()
+        for _ in range(4):
+            opt.step(params, np.asarray([0]), g, lr=1.0)
+            deltas.append(np.abs(params - prev).sum())
+            prev = params.copy()
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_duplicate_rows_single_accumulator_update(self):
+        """Duplicates must be pre-summed: one state bump, not two."""
+        opt_dup = RowAdagrad(1)
+        p1 = np.zeros((1, 2))
+        g = np.ones((2, 2))
+        opt_dup.step(p1, np.asarray([0, 0]), g, lr=0.1)
+
+        opt_single = RowAdagrad(1)
+        p2 = np.zeros((1, 2))
+        opt_single.step(p2, np.asarray([0]), 2 * np.ones((1, 2)), lr=0.1)
+        np.testing.assert_allclose(p1, p2)
+        np.testing.assert_allclose(opt_dup.state, opt_single.state)
+
+    def test_invalid_lr(self):
+        opt = RowAdagrad(1)
+        with pytest.raises(ValueError):
+            opt.step(np.zeros((1, 2)), np.asarray([0]), np.ones((1, 2)), lr=0)
+
+    def test_state_one_float_per_row(self):
+        """The paper's memory trick: state is (n,), not (n, d)."""
+        opt = RowAdagrad(100)
+        assert opt.state.shape == (100,)
+        assert opt.nbytes() == 400
+
+    def test_from_state_roundtrip(self):
+        state = np.asarray([1.0, 2.0], dtype=np.float32)
+        opt = RowAdagrad.from_state(state)
+        np.testing.assert_allclose(opt.state, state)
+
+    def test_empty_rows_noop(self):
+        opt = RowAdagrad(3)
+        params = np.ones((3, 2))
+        opt.step(params, np.empty(0, dtype=np.int64), np.empty((0, 2)), lr=0.1)
+        np.testing.assert_allclose(params, 1.0)
+
+
+class TestDenseAdagrad:
+    def test_update_direction(self):
+        opt = DenseAdagrad((2, 2))
+        params = np.zeros((2, 2))
+        g = np.asarray([[1.0, -1.0], [2.0, 0.0]])
+        opt.step(params, g, lr=1.0)
+        assert params[0, 0] < 0 and params[0, 1] > 0
+        assert params[1, 0] < 0 and params[1, 1] == 0
+
+    def test_first_step_magnitude(self):
+        """First update is ≈ lr * sign(g) elementwise."""
+        opt = DenseAdagrad((3,))
+        params = np.zeros(3)
+        g = np.asarray([5.0, -0.01, 0.0])
+        opt.step(params, g, lr=0.1)
+        np.testing.assert_allclose(params[:2], [-0.1, 0.1], rtol=1e-4)
+
+    def test_shape_mismatch(self):
+        opt = DenseAdagrad((2, 2))
+        with pytest.raises(ValueError):
+            opt.step(np.zeros((2, 2)), np.zeros((3, 2)), lr=0.1)
+
+    def test_converges_on_quadratic(self):
+        """Adagrad on f(x) = ||x - t||² reaches the target."""
+        opt = DenseAdagrad((4,))
+        target = np.asarray([1.0, -2.0, 0.5, 3.0])
+        x = np.zeros(4)
+        for _ in range(500):
+            opt.step(x, 2 * (x - target), lr=0.5)
+        np.testing.assert_allclose(x, target, atol=1e-2)

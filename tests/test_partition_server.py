@@ -1,0 +1,120 @@
+"""Tests for the sharded partition server."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed.partition_server import PartitionServer
+
+
+def _arrays(seed=0, n=10, d=4):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((n, d)).astype(np.float32),
+        rng.random(n).astype(np.float32),
+    )
+
+
+class TestPartitionServer:
+    def test_put_get_roundtrip(self):
+        ps = PartitionServer(2)
+        emb, state = _arrays()
+        ps.put("node", 3, emb, state)
+        emb2, state2 = ps.get("node", 3)
+        np.testing.assert_array_equal(emb, emb2)
+        np.testing.assert_array_equal(state, state2)
+
+    def test_get_missing_returns_none(self):
+        ps = PartitionServer(2)
+        assert ps.get("node", 0) is None
+
+    def test_copies_isolate_callers(self):
+        """Mutating a fetched partition must not affect the server."""
+        ps = PartitionServer(1)
+        emb, state = _arrays()
+        ps.put("node", 0, emb, state)
+        got, _ = ps.get("node", 0)
+        got += 100.0
+        again, _ = ps.get("node", 0)
+        np.testing.assert_array_equal(again, emb)
+
+    def test_put_copies_input(self):
+        ps = PartitionServer(1)
+        emb, state = _arrays()
+        ps.put("node", 0, emb, state)
+        emb += 50.0
+        stored, _ = ps.get("node", 0)
+        assert not np.allclose(stored, emb)
+
+    def test_sharding_by_partition_index(self):
+        ps = PartitionServer(4)
+        for p in range(8):
+            ps.put("node", p, *_arrays(p, n=2))
+        sizes = ps.shard_nbytes()
+        assert len(sizes) == 4
+        assert all(s > 0 for s in sizes)
+        # Each shard hosts exactly 2 of the 8 partitions.
+        assert len(set(sizes)) == 1
+
+    def test_keys_sorted(self):
+        ps = PartitionServer(2)
+        ps.put("b", 1, *_arrays(n=1))
+        ps.put("a", 0, *_arrays(n=1))
+        assert ps.keys() == [("a", 0), ("b", 1)]
+
+    def test_has(self):
+        ps = PartitionServer(1)
+        assert not ps.has("node", 0)
+        ps.put("node", 0, *_arrays())
+        assert ps.has("node", 0)
+
+    def test_stats_accounting(self):
+        ps = PartitionServer(1)
+        emb, state = _arrays()
+        ps.put("node", 0, emb, state)
+        ps.get("node", 0)
+        assert ps.stats.puts == 1 and ps.stats.gets == 1
+        assert ps.stats.bytes_received == emb.nbytes + state.nbytes
+        assert ps.stats.bytes_sent == emb.nbytes + state.nbytes
+
+    def test_bandwidth_model_accumulates_delay(self):
+        ps = PartitionServer(1, bandwidth_bytes_per_s=1e9)
+        ps.put("node", 0, *_arrays(n=100))
+        assert ps.stats.simulated_transfer_seconds > 0
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            PartitionServer(0)
+
+    def test_concurrent_put_get_different_partitions(self):
+        ps = PartitionServer(4)
+        errors = []
+
+        def worker(m):
+            try:
+                for i in range(20):
+                    part = m * 20 + i
+                    emb, state = _arrays(part, n=5)
+                    ps.put("node", part, emb, state)
+                    got, _ = ps.get("node", part)
+                    np.testing.assert_array_equal(got, emb)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(m,)) for m in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(ps.keys()) == 80
+
+    def test_overwrite_updates(self):
+        ps = PartitionServer(1)
+        emb1, state = _arrays(1)
+        emb2, _ = _arrays(2)
+        ps.put("node", 0, emb1, state)
+        ps.put("node", 0, emb2, state)
+        got, _ = ps.get("node", 0)
+        np.testing.assert_array_equal(got, emb2)

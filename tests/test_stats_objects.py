@@ -1,0 +1,74 @@
+"""Tests for the statistics value objects (training + cluster)."""
+
+import numpy as np
+
+from repro.core.model import ChunkStats
+from repro.core.trainer import EpochStats, TrainingStats
+from repro.distributed.cluster import DistributedStats, MachineStats
+
+
+class TestChunkStats:
+    def test_merge_accumulates(self):
+        a = ChunkStats(loss=1.0, num_edges=10, num_negatives=100, violations=5)
+        b = ChunkStats(loss=2.0, num_edges=20, num_negatives=200, violations=7)
+        a.merge(b)
+        assert a.loss == 3.0
+        assert a.num_edges == 30
+        assert a.num_negatives == 300
+        assert a.violations == 12
+
+    def test_mean_loss_guards_zero(self):
+        assert ChunkStats().mean_loss == 0.0
+        assert ChunkStats(loss=6.0, num_edges=3).mean_loss == 2.0
+
+
+class TestEpochStats:
+    def test_mean_loss(self):
+        e = EpochStats(epoch=0, loss=10.0, num_edges=5)
+        assert e.mean_loss == 2.0
+        assert EpochStats(epoch=0).mean_loss == 0.0
+
+
+class TestTrainingStats:
+    def test_aggregates(self):
+        stats = TrainingStats(
+            epochs=[
+                EpochStats(epoch=0, num_edges=100, train_time=2.0),
+                EpochStats(epoch=1, num_edges=100, train_time=2.0),
+            ]
+        )
+        assert stats.total_edges == 200
+        assert stats.edges_per_second == 50.0
+
+    def test_edges_per_second_no_time(self):
+        stats = TrainingStats(epochs=[EpochStats(epoch=0, num_edges=10)])
+        assert stats.edges_per_second == 0.0
+
+
+class TestDistributedStats:
+    def test_peak_and_totals(self):
+        stats = DistributedStats(
+            machines=[
+                MachineStats(machine=0, num_edges=10,
+                             peak_resident_bytes=100),
+                MachineStats(machine=1, num_edges=20,
+                             peak_resident_bytes=300),
+            ]
+        )
+        assert stats.peak_machine_bytes == 300
+        assert stats.total_edges == 30
+
+    def test_idle_fraction(self):
+        stats = DistributedStats(
+            machines=[
+                MachineStats(machine=0, train_time=3.0, idle_time=1.0),
+                MachineStats(machine=1, train_time=3.0, idle_time=1.0),
+            ]
+        )
+        assert stats.mean_idle_fraction == 0.25
+
+    def test_empty_cluster_safe(self):
+        stats = DistributedStats()
+        assert stats.peak_machine_bytes == 0
+        assert stats.mean_idle_fraction == 0.0
+        assert stats.total_edges == 0

@@ -1,0 +1,42 @@
+"""Tests for shared numeric utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import sample_from_cdf
+
+
+class TestSampleFromCdf:
+    def test_degenerate_single_bin(self):
+        cdf = np.asarray([1.0])
+        out = sample_from_cdf(cdf, 100, np.random.default_rng(0))
+        assert np.all(out == 0)
+
+    def test_respects_distribution(self):
+        # 90% mass on bin 0, 10% on bin 1.
+        cdf = np.asarray([0.9, 1.0])
+        out = sample_from_cdf(cdf, 50_000, np.random.default_rng(1))
+        frac0 = (out == 0).mean()
+        assert 0.88 < frac0 < 0.92
+
+    def test_never_out_of_range_even_with_truncated_cdf(self):
+        # A CDF whose last entry is slightly below 1 (float rounding).
+        cdf = np.asarray([0.5, 1.0 - 1e-12])
+        out = sample_from_cdf(cdf, 10_000, np.random.default_rng(2))
+        assert out.max() <= 1
+
+    def test_tuple_size(self):
+        cdf = np.linspace(0.1, 1.0, 10)
+        out = sample_from_cdf(cdf, (3, 4), np.random.default_rng(3))
+        assert out.shape == (3, 4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 50), seed=st.integers(0, 2**31 - 1))
+    def test_in_range_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.random(n) + 1e-9
+        cdf = np.cumsum(w)
+        cdf /= cdf[-1]
+        out = sample_from_cdf(cdf, 200, rng)
+        assert out.min() >= 0 and out.max() < n

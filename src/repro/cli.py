@@ -78,6 +78,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     config = ConfigSchema.from_json(Path(args.config).read_text())
     if args.checkpoint is not None:
         config = config.replace(checkpoint_dir=str(args.checkpoint))
+    if args.pipeline:
+        config = config.replace(pipeline=True)
+    if args.partition_cache_budget is not None:
+        config = config.replace(
+            partition_cache_budget=args.partition_cache_budget
+        )
     edges = load_edges(args.edges)
     counts = (
         json.loads(args.entity_counts)
@@ -108,11 +114,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     def progress(epoch: int, stats) -> None:
         e = stats.epochs[-1]
-        print(
+        line = (
             f"epoch {epoch}: loss {e.mean_loss:.4f} "
             f"({e.num_edges} edges, {e.train_time:.1f}s train, "
             f"{e.io_time:.1f}s io)"
         )
+        if config.pipeline:
+            p = e.pipeline
+            line += (
+                f" [pipeline: {p.prefetch_hits} hits / "
+                f"{p.prefetch_misses} misses, "
+                f"{p.writeback_stall_time:.1f}s stalled]"
+            )
+        print(line)
 
     stats = trainer.train(edges, after_epoch=progress)
     print(
@@ -120,6 +134,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"({stats.edges_per_second:,.0f} edges/s), peak "
         f"{stats.peak_resident_bytes / 1e6:.1f} MB"
     )
+    if config.pipeline:
+        p = stats.pipeline
+        print(
+            f"pipeline: {p.hit_rate:.0%} prefetch hit rate "
+            f"({p.prefetch_hits}/{p.prefetch_hits + p.prefetch_misses}), "
+            f"{p.prefetch_wait_time:.1f}s prefetch wait, "
+            f"{p.writeback_stall_time:.1f}s writeback stall"
+        )
     if args.checkpoint is not None and storage is None:
         save_model(args.checkpoint, model, entities,
                    metadata={"epoch": config.num_epochs - 1})
@@ -174,6 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--entity-counts", default=None,
                          help='JSON dict of entity counts, e.g. '
                               '\'{"node": 10000}\' (default: inferred)')
+    p_train.add_argument("--pipeline", action="store_true",
+                         help="overlap partition I/O with training "
+                              "(async prefetch + background writeback)")
+    p_train.add_argument("--partition-cache-budget", type=int, default=None,
+                         metavar="BYTES",
+                         help="byte budget of the pipelined partition "
+                              "cache (default: unlimited)")
     p_train.set_defaults(fn=_cmd_train)
 
     p_eval = sub.add_parser("eval", help="rank held-out edges")

@@ -185,6 +185,18 @@ class ConfigSchema:
     # Partitioned training.
     bucket_order: str = "inside_out"
     checkpoint_dir: str | None = None
+    # Pipelined bucket training (paper Section 4.1's latency hiding):
+    # prefetch the next bucket's partitions while training the current
+    # one, keep recently evicted partitions in an LRU cache, and flush
+    # dirty partitions to disk on a background writeback thread. Only
+    # takes effect when some entity type is partitioned; embeddings are
+    # bit-identical to the serial path under a fixed seed.
+    pipeline: bool = False
+    # Byte budget of the partition cache (None = unlimited, 0 = no
+    # retention: every evicted partition is flushed synchronously and
+    # dropped, and prefetch is disabled — serial memory footprint,
+    # serial I/O behaviour).
+    partition_cache_budget: int | None = None
     # Stratum passes (paper footnote 3): divide each bucket's edges
     # into N parts and sweep the bucket grid N times per epoch,
     # training one part per visit. Interleaving buckets more often
@@ -275,6 +287,14 @@ class ConfigSchema:
             raise ConfigError("parameter_sync_interval must be >= 1")
         if self.stratum_passes < 1:
             raise ConfigError("stratum_passes must be >= 1")
+        if (
+            self.partition_cache_budget is not None
+            and self.partition_cache_budget < 0
+        ):
+            raise ConfigError(
+                "partition_cache_budget must be >= 0 bytes (or None for "
+                "unlimited)"
+            )
         if not 0.0 <= self.eval_fraction < 1.0:
             raise ConfigError("eval_fraction must be in [0, 1)")
 

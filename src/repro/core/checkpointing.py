@@ -38,8 +38,19 @@ def save_model(
     model: EmbeddingModel,
     entities: EntityStorage,
     metadata: dict | None = None,
+    barrier=None,
 ) -> CheckpointStorage:
-    """Persist config, parameters and layouts; returns the storage."""
+    """Persist config, parameters and layouts; returns the storage.
+
+    ``barrier``, when given, is a callable invoked before anything is
+    written. Pipelined trainers pass their writeback drain here so that
+    every asynchronously evicted partition has durably landed in the
+    partition store before the checkpoint claims consistency — a
+    checkpoint taken mid-writeback would otherwise pair fresh resident
+    partitions with stale evicted ones.
+    """
+    if barrier is not None:
+        barrier()
     ckpt = CheckpointStorage(checkpoint_dir)
     ckpt.save_config(model.config.to_json())
 

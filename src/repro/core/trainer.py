@@ -11,10 +11,51 @@ partitions back to disk before moving on.
 With one partition this degenerates to plain minibatch training with
 everything resident. Peak-memory accounting and swap/I/O counters feed
 the memory columns of Tables 3 and 4.
+
+Pipelined mode (``config.pipeline``)
+------------------------------------
+
+The serial loop alternates I/O and compute, so partition swap latency
+is additive with training time. With ``pipeline=True`` the loop becomes
+a three-stage pipeline that overlaps them (the latency-hiding the paper
+relies on to keep edges/sec flat as partition count grows):
+
+- **Prefetch** — a single background thread loads the *next* visit's
+  partitions (taken from the configured ``bucket_order``, so
+  inside-out's locality directly turns into prefetch hits) from disk
+  into a :class:`~repro.graph.storage.PartitionCache` while workers
+  train the current bucket.
+- **Train** — unchanged HOGWILD workers over the resident tables.
+- **Writeback** — evicted partitions are parked dirty in the cache and
+  flushed by a :class:`~repro.graph.storage.WritebackQueue` thread off
+  the critical path.
+
+Ownership rules (who may touch which buffers):
+
+1. The **main thread** owns the model's resident tables: only it
+   inserts, drops, or initialises partitions, and only it consumes
+   ``self.rng``. First-touch initialisation never happens on the
+   prefetch thread, so RNG consumption order — and therefore the
+   trained embeddings — are bit-identical to the serial path under a
+   fixed seed.
+2. The **prefetch thread** only reads partition files and inserts
+   *clean* entries into the cache; it never sees the model and treats
+   a missing file as "not my problem" (the main thread initialises).
+3. The **writeback thread** owns a submitted snapshot until the write
+   lands. Arrays handed to it must not be mutated meanwhile; the cache
+   enforces this by blocking :meth:`PartitionCache.take` until a
+   pending write of that partition completes (flush-before-reuse), and
+   checkpoints drain the whole queue first (see
+   :func:`repro.core.checkpointing.save_model`'s ``barrier``).
+
+Residual I/O that cannot be hidden (first-touch initialisation,
+prefetch misses, barrier drains) still lands in ``io_time``;
+:class:`PipelineStats` breaks down hits, misses, and stall time.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -29,9 +70,47 @@ from repro.graph.buckets import Bucket, bucket_order
 from repro.graph.edgelist import EdgeList
 from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import BucketedEdges, bucket_edges
-from repro.graph.storage import PartitionedEmbeddingStorage, StorageError
+from repro.graph.storage import (
+    PartitionCache,
+    PartitionedEmbeddingStorage,
+    StorageError,
+    WritebackQueue,
+)
 
-__all__ = ["Trainer", "TrainingStats", "EpochStats"]
+__all__ = ["Trainer", "TrainingStats", "EpochStats", "PipelineStats"]
+
+
+@dataclass
+class PipelineStats:
+    """Pipelined-training counters (all zero in serial mode).
+
+    A *hit* is a swap-in served from the partition cache (prefetched or
+    retained since its last eviction) — no disk read on the critical
+    path. A *miss* is a swap-in that had to read disk synchronously or
+    initialise a first-touch partition.
+    """
+
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    #: seconds the main thread waited for in-flight prefetch loads
+    prefetch_wait_time: float = 0.0
+    #: seconds the main thread was blocked on background writes
+    #: (flush-before-reuse, budget evictions, epoch/checkpoint drains)
+    writeback_stall_time: float = 0.0
+    #: cache entries dropped to stay under ``partition_cache_budget``
+    cache_evictions: int = 0
+
+    def merge(self, other: "PipelineStats") -> None:
+        self.prefetch_hits += other.prefetch_hits
+        self.prefetch_misses += other.prefetch_misses
+        self.prefetch_wait_time += other.prefetch_wait_time
+        self.writeback_stall_time += other.writeback_stall_time
+        self.cache_evictions += other.cache_evictions
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.prefetch_hits + self.prefetch_misses
+        return self.prefetch_hits / total if total else 0.0
 
 
 @dataclass
@@ -45,6 +124,7 @@ class EpochStats:
     train_time: float = 0.0
     io_time: float = 0.0
     swaps: int = 0
+    pipeline: PipelineStats = field(default_factory=PipelineStats)
     #: in-training evaluation (config.eval_fraction > 0): mean MRR of
     #: held-out bucket edges before / after training each bucket,
     #: weighted by held-out edge counts (PBG's per-bucket eval stats).
@@ -73,6 +153,14 @@ class TrainingStats:
     def edges_per_second(self) -> float:
         busy = sum(e.train_time for e in self.epochs)
         return self.total_edges / busy if busy > 0 else 0.0
+
+    @property
+    def pipeline(self) -> PipelineStats:
+        """Whole-run pipeline counters (sum over epochs)."""
+        total = PipelineStats()
+        for e in self.epochs:
+            total.merge(e.pipeline)
+        return total
 
 
 class Trainer:
@@ -121,6 +209,12 @@ class Trainer:
             for t in entities.types
             if t in config.entities and entities.num_partitions(t) == 1
         ]
+        # Pipelined-mode machinery; built per training run.
+        self._pipeline_active = False
+        self._cache: PartitionCache | None = None
+        self._writeback: WritebackQueue | None = None
+        self._prefetch_pool: ThreadPoolExecutor | None = None
+        self._prefetch_futures: "dict[tuple[str, int], object]" = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -149,15 +243,86 @@ class Trainer:
         stats = TrainingStats()
         start = time.perf_counter()
         self._ensure_global_types()
-        for epoch in range(self.config.num_epochs):
-            epoch_stats = self._run_epoch(epoch, bucketed, stats)
-            stats.epochs.append(epoch_stats)
-            if self.config.checkpoint_dir is not None:
-                self._write_checkpoint(epoch)
-            if after_epoch is not None:
-                after_epoch(epoch, stats)
+        if self.config.pipeline and self._partitioned:
+            self._start_pipeline()
+        try:
+            for epoch in range(self.config.num_epochs):
+                epoch_stats = self._run_epoch(epoch, bucketed, stats)
+                stats.epochs.append(epoch_stats)
+                if self.config.checkpoint_dir is not None:
+                    stall0 = (
+                        self._writeback.stall_seconds
+                        if self._pipeline_active
+                        else 0.0
+                    )
+                    self._write_checkpoint(epoch)
+                    if self._pipeline_active:
+                        # The checkpoint barrier's drain happens outside
+                        # _run_epoch's measurement window; attribute it
+                        # to the epoch just checkpointed.
+                        epoch_stats.pipeline.writeback_stall_time += (
+                            self._writeback.stall_seconds - stall0
+                        )
+                if after_epoch is not None:
+                    after_epoch(epoch, stats)
+        finally:
+            if self._pipeline_active:
+                failing = sys.exc_info()[0] is not None
+                try:
+                    self._stop_pipeline()
+                except Exception:
+                    # Teardown after a training failure must not mask
+                    # the original exception with a writeback error.
+                    if not failing:
+                        raise
         stats.total_time = time.perf_counter() - start
         return stats
+
+    # ------------------------------------------------------------------
+    # Pipeline lifecycle
+    # ------------------------------------------------------------------
+
+    def _start_pipeline(self) -> None:
+        self._writeback = WritebackQueue(self.storage)
+        self._cache = PartitionCache(
+            self.storage,
+            budget_bytes=self.config.partition_cache_budget,
+            writeback=self._writeback,
+        )
+        self._prefetch_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="partition-prefetch"
+        )
+        self._prefetch_futures = {}
+        self._pipeline_active = True
+
+    def _stop_pipeline(self) -> None:
+        self._pipeline_active = False
+        try:
+            for fut in self._prefetch_futures.values():
+                fut.cancel()
+            self._prefetch_futures = {}
+            if self._prefetch_pool is not None:
+                self._prefetch_pool.shutdown(wait=True)
+            if self._writeback is not None:
+                self._writeback.close()
+        finally:
+            self._prefetch_pool = None
+            self._cache = None
+            self._writeback = None
+
+    def _pipeline_barrier(self) -> None:
+        """Make the partition store consistent with training state:
+        persist resident multi-partition tables, flush dirty cache
+        entries, and drain the writeback queue. Returns only once every
+        write has durably landed (checkpoint / epoch-end barrier)."""
+        for entity_type, part in self.model.resident_tables():
+            if self.entities.num_partitions(entity_type) > 1:
+                table = self.model.get_table(entity_type, part)
+                self._writeback.submit(
+                    entity_type, part, table.weights, table.optimizer.state
+                )
+        self._cache.flush_dirty()
+        self._writeback.drain()
 
     def _write_checkpoint(self, epoch: int) -> None:
         """Persist the model after an epoch (paper Figure 2: trainers
@@ -166,7 +331,10 @@ class Trainer:
         With partitioned training only resident partitions are saved
         here; the evicted ones were already flushed to the partition
         store, which shares the checkpoint's directory layout when
-        ``checkpoint_dir`` is used for both.
+        ``checkpoint_dir`` is used for both. In pipelined mode a
+        barrier first drains the async writeback queue so the partition
+        store is consistent with training state before the checkpoint
+        claims to be.
         """
         from repro.core.checkpointing import save_model
 
@@ -175,6 +343,7 @@ class Trainer:
             self.model,
             self.entities,
             metadata={"epoch": epoch},
+            barrier=self._pipeline_barrier if self._pipeline_active else None,
         )
 
     # ------------------------------------------------------------------
@@ -215,12 +384,25 @@ class Trainer:
             for stratum in range(passes)
             for bucket in order
         ]
-        for stratum, bucket in visits:
+        stall_base = (
+            self._writeback.stall_seconds if self._pipeline_active else 0.0
+        )
+        evict_base = self._cache.evictions if self._pipeline_active else 0
+        for visit, (stratum, bucket) in enumerate(visits):
             t0 = time.perf_counter()
-            self._swap_to_bucket(bucket, estats)
+            if self._pipeline_active:
+                next_bucket = (
+                    visits[visit + 1][1] if visit + 1 < len(visits) else None
+                )
+                self._swap_to_bucket_pipelined(bucket, next_bucket, estats)
+            else:
+                self._swap_to_bucket(bucket, estats)
             estats.io_time += time.perf_counter() - t0
+            resident = self.model.resident_nbytes()
+            if self._pipeline_active:
+                resident += self._cache.nbytes()
             run_stats.peak_resident_bytes = max(
-                run_stats.peak_resident_bytes, self.model.resident_nbytes()
+                run_stats.peak_resident_bytes, resident
             )
             edges = bucketed.edges_for(bucket)
             if len(edges) == 0:
@@ -257,11 +439,22 @@ class Trainer:
             estats.eval_mrr_before /= estats.num_eval_edges
             estats.eval_mrr_after /= estats.num_eval_edges
         # Persist the trailing resident partitions so evaluation can
-        # reload a complete model.
+        # reload a complete model. In pipelined mode this is a full
+        # barrier (resident tables + dirty cache entries + queue drain).
         if self._partitioned:
             t0 = time.perf_counter()
-            self._flush_resident()
+            if self._pipeline_active:
+                self._pipeline_barrier()
+            else:
+                self._flush_resident()
             estats.io_time += time.perf_counter() - t0
+        if self._pipeline_active:
+            estats.pipeline.writeback_stall_time = (
+                self._writeback.stall_seconds - stall_base
+            )
+            estats.pipeline.cache_evictions = (
+                self._cache.evictions - evict_base
+            )
         return estats
 
     _EVAL_CANDIDATES = 100
@@ -328,6 +521,81 @@ class Trainer:
             if not self.model.has_table(entity_type, part):
                 self._load_or_init(entity_type, part)
                 estats.swaps += 1
+
+    def _swap_to_bucket_pipelined(
+        self, bucket: Bucket, next_bucket: "Bucket | None", estats: EpochStats
+    ) -> None:
+        """Pipelined swap: consume prefetched partitions, evict through
+        the cache + writeback queue, then schedule the next visit's
+        prefetch to overlap with this bucket's training."""
+        from repro.core.tables import DenseEmbeddingTable
+
+        pstats = estats.pipeline
+        needed = self._required_partitions(bucket)
+        # 1. Settle in-flight prefetch loads so cache state is final
+        #    and the prefetch thread is quiescent during 2–4.
+        if self._prefetch_futures:
+            t0 = time.perf_counter()
+            for fut in self._prefetch_futures.values():
+                fut.result()  # surface prefetch-thread failures here
+            pstats.prefetch_wait_time += time.perf_counter() - t0
+            self._prefetch_futures = {}
+        # 2. Evict residents this bucket doesn't need. Instead of a
+        #    blocking save, they are parked dirty in the cache and
+        #    persisted by the writeback thread off the critical path.
+        for key in list(self.model.resident_tables()):
+            if key not in needed and key[0] not in self._global_types:
+                table = self.model.drop_table(*key)
+                self._cache.put(
+                    key[0], key[1],
+                    table.weights, table.optimizer.state,
+                    dirty=True,
+                )
+                estats.swaps += 1
+        # 3. Load or initialise what the bucket needs — same sorted
+        #    order and the same ``self.rng`` draws as the serial path;
+        #    first-touch initialisation stays on this thread so RNG
+        #    consumption order (and the embeddings) are bit-identical.
+        for entity_type, part in sorted(needed):
+            if self.model.has_table(entity_type, part):
+                continue
+            if self._cache.contains(entity_type, part):
+                pstats.prefetch_hits += 1
+            else:
+                pstats.prefetch_misses += 1
+            got = self._cache.take(entity_type, part)
+            if got is not None:
+                self.model.set_table(
+                    entity_type, part, DenseEmbeddingTable(*got)
+                )
+            else:
+                self.model.init_partition(entity_type, part, self.rng)
+            estats.swaps += 1
+        # 4. Schedule the next visit's loads to overlap with training.
+        #    Only partitions that already exist on disk are eligible —
+        #    resident and cached ones need no I/O, and absent ones must
+        #    be initialised on the main thread (rule 2 of the module
+        #    docstring's ownership rules). With a zero cache budget a
+        #    prefetched entry would be dropped before take() could use
+        #    it, so prefetching would only double the reads.
+        if next_bucket is not None and self.config.partition_cache_budget != 0:
+            for key in sorted(self._required_partitions(next_bucket)):
+                if self.model.has_table(*key) or self._cache.contains(*key):
+                    continue
+                self._prefetch_futures[key] = self._prefetch_pool.submit(
+                    self._prefetch_one, key
+                )
+
+    def _prefetch_one(self, key: "tuple[str, int]") -> None:
+        """Prefetch-thread body: one partition, disk → cache, clean.
+
+        Never touches the model or the RNG; a partition with no stored
+        file is simply skipped (the main thread initialises it)."""
+        try:
+            embeddings, optim_state = self.storage.load(*key)
+        except StorageError:
+            return
+        self._cache.put(key[0], key[1], embeddings, optim_state, dirty=False)
 
     def _evict(self, entity_type: str, part: int) -> None:
         table = self.model.drop_table(entity_type, part)

@@ -24,6 +24,7 @@ __all__ = [
     "bucket_order",
     "check_seen_partition_invariant",
     "count_partition_swaps",
+    "lookahead_loads",
 ]
 
 
@@ -72,11 +73,29 @@ def outside_in_order(
 ) -> "list[Bucket]":
     """Reverse of inside-out — the outer shells are trained first.
 
-    A control for the ordering ablation. On a symmetric grid it happens
-    to satisfy the letter of the seen-partition invariant (the first
-    shell touches every partition), but it front-loads the largest
-    shells, trains the diagonal-heavy early shells last, and costs the
-    same swaps as inside-out without its locality benefits.
+    A control for the ordering ablation. It satisfies the letter of the
+    seen-partition invariant (as checked by
+    :func:`check_seen_partition_invariant`, exhaustively swept over
+    grids up to 6x6 in the tests), but for different reasons depending
+    on the grid shape:
+
+    - On a *symmetric* grid the outermost shell touches every partition
+      up front, so every later bucket trivially shares a seen partition.
+    - On an *asymmetric* ``L x R`` grid (say ``L < R``) the first shell
+      does **not** touch every partition — it only covers the ``L`` lhs
+      partitions plus the single outermost rhs partition. The remaining
+      rhs partitions only enter the seen set one shell at a time,
+      immediately before their heaviest use, via buckets whose lhs
+      partition was already seen.
+
+    Either way the alignment it provides is much weaker than
+    inside-out's (partitions are pulled into the embedding space late,
+    by a single bucket, instead of early with progressive refinement),
+    it front-loads the largest shells, trains the diagonal-heavy early
+    shells last, and costs the same swaps as inside-out without its
+    locality benefits. Callers that rely on the invariant should gate
+    with ``bucket_order(..., require_invariant=True)`` rather than
+    trust any particular order by name.
     """
     return list(reversed(inside_out_order(nparts_lhs, nparts_rhs, rng)))
 
@@ -126,8 +145,19 @@ def bucket_order(
     nparts_lhs: int,
     nparts_rhs: int,
     rng: np.random.Generator | None = None,
+    *,
+    require_invariant: bool = False,
+    symmetric: bool = True,
 ) -> "list[Bucket]":
-    """Dispatch on order ``name`` (see :data:`repro.config.BUCKET_ORDER_NAMES`)."""
+    """Dispatch on order ``name`` (see :data:`repro.config.BUCKET_ORDER_NAMES`).
+
+    With ``require_invariant`` the produced order is gated through
+    :func:`check_seen_partition_invariant` (under the given
+    ``symmetric`` interpretation) and a :class:`ValueError` is raised
+    if it violates the paper's alignment requirement — useful for the
+    'random' control, which violates it with high probability on large
+    grids.
+    """
     try:
         fn = _ORDERS[name]
     except KeyError:
@@ -139,6 +169,13 @@ def bucket_order(
         raise AssertionError(
             f"order {name!r} produced {len(order)} buckets, "
             f"expected {nparts_lhs * nparts_rhs}"
+        )
+    if require_invariant and not check_seen_partition_invariant(
+        order, symmetric
+    ):
+        raise ValueError(
+            f"bucket order {name!r} violates the seen-partition invariant "
+            f"on a {nparts_lhs}x{nparts_rhs} grid"
         )
     return order
 
@@ -172,21 +209,42 @@ def check_seen_partition_invariant(
     return True
 
 
+def lookahead_loads(
+    order: "list[Bucket]", symmetric: bool = True
+) -> "list[set]":
+    """Per-step partition loads along an order (the prefetch plan).
+
+    Entry ``k`` is the set of partitions bucket ``order[k]`` needs that
+    are not resident after bucket ``order[k-1]`` — the trainer keeps
+    only the current bucket's partitions live, so these are exactly the
+    loads that hit the I/O path at step ``k``. Entry 0 is the first
+    bucket's full partition set.
+
+    A pipelined trainer overlaps step ``k``'s training with the loads
+    in entry ``k+1``: an empty entry means the next bucket reuses the
+    current partitions (inside-out's paired ``(n, m), (m, n)`` steps),
+    and :func:`count_partition_swaps` equals the sum of entry sizes.
+    """
+    resident: set = set()
+    plan: list[set] = []
+    for bucket in order:
+        if symmetric:
+            needed = {bucket.lhs, bucket.rhs}
+        else:
+            needed = {("lhs", bucket.lhs), ("rhs", bucket.rhs)}
+        plan.append(needed - resident)
+        resident = needed
+    return plan
+
+
 def count_partition_swaps(order: "list[Bucket]", symmetric: bool = True) -> int:
     """Number of partition loads along an order (I/O cost proxy).
 
     A step from bucket ``a`` to bucket ``b`` must load each of ``b``'s
     partitions not already resident. The first bucket costs its distinct
     partitions. Lower is better: the paper picks inside-out partly to
-    minimise disk swaps.
+    minimise disk swaps. Defined as the total size of the
+    :func:`lookahead_loads` prefetch plan, so the two are consistent by
+    construction.
     """
-    swaps = 0
-    resident: set = set()
-    for bucket in order:
-        if symmetric:
-            needed = {bucket.lhs, bucket.rhs}
-        else:
-            needed = {("lhs", bucket.lhs), ("rhs", bucket.rhs)}
-        swaps += len(needed - resident)
-        resident = needed
-    return swaps
+    return sum(len(loads) for loads in lookahead_loads(order, symmetric))

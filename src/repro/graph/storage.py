@@ -6,6 +6,18 @@ model checkpoints go to a shared filesystem in distributed mode
 (Figure 2). Both paths are implemented here on top of ``.npz`` files
 with atomic write-then-rename semantics, so a crash mid-write never
 corrupts an existing partition.
+
+For pipelined training (overlapping bucket I/O with compute, the
+latency-hiding trick of Section 4.1) this module also provides:
+
+- :class:`WritebackQueue` — a single background thread that persists
+  evicted partitions off the critical path, with per-key pending
+  tracking so callers can wait for a specific partition's write
+  (flush-before-reuse) or drain everything (checkpoint barrier).
+- :class:`PartitionCache` — a byte-budgeted LRU cache of partition
+  arrays sitting in front of a :class:`PartitionedEmbeddingStorage`,
+  with dirty/clean tracking. Partitions shared by consecutive buckets
+  are served from memory instead of being re-read from disk.
 """
 
 from __future__ import annotations
@@ -13,11 +25,21 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["PartitionedEmbeddingStorage", "CheckpointStorage", "StorageError"]
+__all__ = [
+    "PartitionedEmbeddingStorage",
+    "CheckpointStorage",
+    "StorageError",
+    "WritebackQueue",
+    "PartitionCache",
+]
 
 
 class StorageError(RuntimeError):
@@ -111,6 +133,365 @@ class PartitionedEmbeddingStorage:
         return sum(
             p.stat().st_size for p in self.root.rglob("part-*.npz")
         )
+
+
+class WritebackQueue:
+    """Asynchronous writer for evicted partitions.
+
+    A single daemon thread drains a FIFO of ``(entity_type, part,
+    embeddings, optim_state)`` jobs into a
+    :class:`PartitionedEmbeddingStorage`. The queue tracks, per key,
+    how many submitted writes have not yet landed, so callers can:
+
+    - :meth:`wait` for one key — required before anything mutates
+      arrays that a pending write still references (flush-before-reuse:
+      writing a partition while HOGWILD workers update it would persist
+      a torn snapshot);
+    - :meth:`drain` everything — the checkpoint barrier.
+
+    Jobs hold *references* to the caller's arrays, not copies; the
+    ownership rule is that a submitted partition must not be modified
+    until its write completes. Writer-thread failures are captured and
+    re-raised as :class:`StorageError` on the next submit/wait/drain.
+    """
+
+    def __init__(
+        self,
+        storage: PartitionedEmbeddingStorage,
+        max_pending: int | None = None,
+    ) -> None:
+        self.storage = storage
+        self.max_pending = max_pending
+        self._cv = threading.Condition()
+        self._jobs: deque = deque()
+        self._pending: "dict[tuple[str, int], int]" = {}
+        self._error: BaseException | None = None
+        self._closed = False
+        #: cumulative seconds callers spent blocked on this queue
+        self.stall_seconds = 0.0
+        #: completed background writes
+        self.writes = 0
+        self._thread = threading.Thread(
+            target=self._run, name="partition-writeback", daemon=True
+        )
+        self._thread.start()
+
+    # -- caller side ---------------------------------------------------
+
+    def submit(
+        self,
+        entity_type: str,
+        part: int,
+        embeddings: np.ndarray,
+        optim_state: np.ndarray,
+        on_done=None,
+    ) -> None:
+        """Enqueue one partition write; returns immediately.
+
+        ``on_done()`` runs on the writer thread after a successful
+        write (the cache uses it to flip dirty → clean). Blocks only
+        when ``max_pending`` is set and the backlog is full.
+        """
+        key = (entity_type, part)
+        with self._cv:
+            self._raise_if_failed()
+            if self._closed:
+                raise StorageError("writeback queue is closed")
+            if self.max_pending is not None:
+                t0 = time.perf_counter()
+                while (
+                    len(self._jobs) >= self.max_pending
+                    and self._error is None
+                ):
+                    self._cv.wait()
+                self.stall_seconds += time.perf_counter() - t0
+                self._raise_if_failed()
+            self._jobs.append((key, embeddings, optim_state, on_done))
+            self._pending[key] = self._pending.get(key, 0) + 1
+            self._cv.notify_all()
+
+    def is_pending(self, entity_type: str, part: int) -> bool:
+        """Whether any submitted write for this key has not landed."""
+        with self._cv:
+            return self._pending.get((entity_type, part), 0) > 0
+
+    def wait(self, entity_type: str, part: int) -> float:
+        """Block until no write for this key is pending; returns the
+        seconds spent blocked (also accumulated in ``stall_seconds``)."""
+        key = (entity_type, part)
+        t0 = time.perf_counter()
+        with self._cv:
+            while self._pending.get(key, 0) > 0 and self._error is None:
+                self._cv.wait()
+            elapsed = time.perf_counter() - t0
+            self.stall_seconds += elapsed
+            self._raise_if_failed()
+        return elapsed
+
+    def drain(self) -> float:
+        """Block until every submitted write has landed (the checkpoint
+        barrier); returns the seconds spent blocked."""
+        t0 = time.perf_counter()
+        with self._cv:
+            while (
+                (self._jobs or self._pending) and self._error is None
+            ):
+                self._cv.wait()
+            elapsed = time.perf_counter() - t0
+            self.stall_seconds += elapsed
+            self._raise_if_failed()
+        return elapsed
+
+    def close(self) -> None:
+        """Drain outstanding writes and stop the writer thread."""
+        try:
+            self.drain()
+        finally:
+            with self._cv:
+                self._closed = True
+                self._cv.notify_all()
+            self._thread.join(timeout=30.0)
+
+    def _raise_if_failed(self) -> None:
+        if self._error is not None:
+            raise StorageError(
+                f"background partition write failed: {self._error}"
+            ) from self._error
+
+    # -- writer thread -------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._jobs and not self._closed:
+                    self._cv.wait()
+                if self._closed and not self._jobs:
+                    return
+                key, embeddings, optim_state, on_done = self._jobs.popleft()
+            try:
+                self.storage.save(key[0], key[1], embeddings, optim_state)
+                if on_done is not None:
+                    on_done()
+            except BaseException as exc:  # surfaced on the caller side
+                with self._cv:
+                    self._error = exc
+                    self._jobs.clear()
+                    self._pending.clear()
+                    self._cv.notify_all()
+                return
+            with self._cv:
+                self.writes += 1
+                self._pending[key] -= 1
+                if self._pending[key] == 0:
+                    del self._pending[key]
+                self._cv.notify_all()
+
+
+@dataclass
+class _CacheEntry:
+    embeddings: np.ndarray
+    optim_state: np.ndarray
+    dirty: bool
+
+    @property
+    def nbytes(self) -> int:
+        return self.embeddings.nbytes + self.optim_state.nbytes
+
+
+class PartitionCache:
+    """Byte-budgeted LRU cache of partitions with dirty tracking.
+
+    Sits in front of a :class:`PartitionedEmbeddingStorage`. The
+    trainer parks evicted partitions here (*dirty* — modified since
+    last persisted) and the prefetcher inserts upcoming partitions read
+    from disk (*clean*). :meth:`take` pops a partition back out for
+    training, falling back to a synchronous disk read on a miss.
+
+    States of a partition's arrays relative to disk:
+
+    - **clean** — byte-identical to the stored file; can be dropped
+      freely under budget pressure.
+    - **dirty, write pending** — a :class:`WritebackQueue` job is in
+      flight; :meth:`take` and budget eviction wait for it to land
+      before handing the arrays out or dropping them.
+    - **dirty, no queue** — synchronous mode (no writeback thread);
+      persisted inline on eviction or :meth:`flush_dirty`.
+
+    ``budget_bytes=None`` means unlimited; ``0`` disables retention
+    entirely: every dirty insert blocks until its write lands and is
+    then dropped, and clean inserts are dropped immediately. That is a
+    memory-bound fallback with essentially serial I/O behaviour, not an
+    overlap mode — the trainer skips prefetching at budget 0 for this
+    reason. All methods are thread-safe; the lock is released while
+    waiting on the writeback queue so the writer thread can make
+    progress.
+    """
+
+    def __init__(
+        self,
+        storage: PartitionedEmbeddingStorage,
+        budget_bytes: int | None = None,
+        writeback: WritebackQueue | None = None,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0 or None")
+        self.storage = storage
+        self.budget_bytes = budget_bytes
+        self.writeback = writeback
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, int], _CacheEntry]" = (
+            OrderedDict()
+        )
+        #: partitions served from memory / read synchronously from disk
+        self.hits = 0
+        self.misses = 0
+        #: entries dropped to stay under the byte budget
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        entity_type: str,
+        part: int,
+        embeddings: np.ndarray,
+        optim_state: np.ndarray,
+        dirty: bool,
+    ) -> None:
+        """Insert a partition as most-recently-used.
+
+        Dirty inserts are immediately submitted to the writeback queue
+        (when configured) so the disk copy starts catching up while the
+        arrays stay available for reuse.
+        """
+        key = (entity_type, part)
+        entry = _CacheEntry(embeddings, optim_state, dirty)
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+        if dirty and self.writeback is not None:
+            self._submit_writeback(key, entry)
+        self._shrink_to_budget()
+
+    def _submit_writeback(
+        self, key: "tuple[str, int]", entry: _CacheEntry
+    ) -> None:
+        """Queue a background write; the entry flips clean when it lands
+        (only if it is still the cached object for its key — a newer
+        insert supersedes it and carries its own write)."""
+
+        def mark_clean(self=self, key=key, entry=entry):
+            with self._lock:
+                if self._entries.get(key) is entry:
+                    entry.dirty = False
+
+        self.writeback.submit(
+            key[0], key[1], entry.embeddings, entry.optim_state, mark_clean
+        )
+
+    def take(
+        self, entity_type: str, part: int
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Pop a partition for training.
+
+        Served from the cache when present (a *hit*), else read
+        synchronously from disk (a *miss*); ``None`` if it exists
+        nowhere. If a background write of the cached arrays is still in
+        flight, blocks until it lands — the caller is about to mutate
+        them (flush-before-reuse).
+        """
+        key = (entity_type, part)
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is None:
+                    break
+                pending = (
+                    entry.dirty
+                    and self.writeback is not None
+                    and self.writeback.is_pending(entity_type, part)
+                )
+                if not pending:
+                    del self._entries[key]
+                    self.hits += 1
+                    return entry.embeddings, entry.optim_state
+            # Wait outside the lock: the writer's mark_clean callback
+            # needs it to flip the entry before notifying us.
+            self.writeback.wait(entity_type, part)
+        try:
+            embeddings, optim_state = self.storage.load(entity_type, part)
+        except StorageError:
+            return None
+        with self._lock:
+            self.misses += 1
+        return embeddings, optim_state
+
+    def contains(self, entity_type: str, part: int) -> bool:
+        with self._lock:
+            return (entity_type, part) in self._entries
+
+    def nbytes(self) -> int:
+        """Bytes currently retained by the cache."""
+        with self._lock:
+            return sum(e.nbytes for e in self._entries.values())
+
+    def flush_dirty(self) -> None:
+        """Persist every dirty entry. Entries stay cached.
+
+        With a writeback queue, dirty entries normally already have a
+        write in flight (submitted at insert); any that do not are
+        re-submitted. Without one, they are saved synchronously. Callers
+        wanting durability must still drain the queue afterwards."""
+        with self._lock:
+            dirty = [
+                (key, entry)
+                for key, entry in self._entries.items()
+                if entry.dirty
+            ]
+        for key, entry in dirty:
+            if self.writeback is not None:
+                if not self.writeback.is_pending(key[0], key[1]):
+                    self._submit_writeback(key, entry)
+            else:
+                self.storage.save(
+                    key[0], key[1], entry.embeddings, entry.optim_state
+                )
+                with self._lock:
+                    entry.dirty = False
+
+    # ------------------------------------------------------------------
+
+    def _shrink_to_budget(self) -> None:
+        """Drop LRU entries until under budget, persisting dirty ones
+        first (never lose the only up-to-date copy of a partition)."""
+        if self.budget_bytes is None:
+            return
+        while True:
+            wait_key = None
+            with self._lock:
+                total = sum(e.nbytes for e in self._entries.values())
+                if total <= self.budget_bytes or not self._entries:
+                    return
+                key, entry = next(iter(self._entries.items()))
+                if entry.dirty:
+                    if self.writeback is not None and self.writeback.is_pending(
+                        key[0], key[1]
+                    ):
+                        wait_key = key
+                    else:
+                        self.storage.save(
+                            key[0], key[1],
+                            entry.embeddings, entry.optim_state,
+                        )
+                        entry.dirty = False
+                        continue
+                else:
+                    del self._entries[key]
+                    self.evictions += 1
+                    continue
+            # Dirty with a write in flight: wait outside the lock, then
+            # re-evaluate (the entry will be clean and droppable).
+            self.writeback.wait(wait_key[0], wait_key[1])
 
 
 class CheckpointStorage:

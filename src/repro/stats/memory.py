@@ -80,11 +80,12 @@ class MemoryModel:
     # ------------------------------------------------------------------
 
     def single_machine_peak_bytes(self) -> int:
-        """Peak resident bytes for single-machine partitioned training.
+        """Peak resident bytes for single-machine *serial* training.
 
         Unpartitioned types are always resident; each partitioned type
         contributes at most two partitions (the current bucket's lhs
-        and rhs).
+        and rhs). Pipelined training additionally retains cached
+        partitions — see :meth:`pipelined_peak_bytes`.
         """
         total = self.shared_param_bytes()
         for t in self.entities.types:
@@ -98,6 +99,37 @@ class MemoryModel:
             else:
                 total += 2 * self._max_partition_bytes(t)
         return total
+
+    def partition_cache_peak_bytes(self) -> int:
+        """Worst-case bytes held by the pipelined trainer's LRU
+        partition cache: the configured budget, capped by the total
+        size of everything that could ever be cached (all partitions of
+        partitioned types). ``partition_cache_budget=None`` means
+        unlimited, so the cap itself is the worst case."""
+        cacheable = sum(
+            self.partition_bytes(t, p)
+            for t in self.entities.types
+            if t in self.config.entities
+            and not self.config.entities[t].featurized
+            and self.entities.num_partitions(t) > 1
+            for p in range(self.entities.num_partitions(t))
+        )
+        budget = self.config.partition_cache_budget
+        if budget is None:
+            return cacheable
+        return min(cacheable, budget)
+
+    def pipelined_peak_bytes(self) -> int:
+        """Peak resident bytes for single-machine *pipelined* training:
+        the serial peak (two live partitions per partitioned type plus
+        always-resident types) plus whatever the partition cache is
+        allowed to retain. The memory/speed dial of pipelined mode is
+        ``partition_cache_budget``: 0 reproduces the serial footprint
+        but also gives up the overlap (nothing can be staged, so
+        evictions flush synchronously and prefetch is disabled); the
+        budget must cover at least the next bucket's partitions for
+        latency hiding to engage."""
+        return self.single_machine_peak_bytes() + self.partition_cache_peak_bytes()
 
     def distributed_peak_bytes_per_machine(self) -> int:
         """Peak per machine: two live partitions + hosted shard.

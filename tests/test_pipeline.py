@@ -1,0 +1,328 @@
+"""Tests for pipelined bucket training (prefetch + cache + writeback).
+
+The load-bearing property is *bit-identical equivalence*: under a fixed
+seed the pipelined trainer must produce exactly the embeddings and
+optimizer state of the serial path, because prefetching only moves disk
+reads off the critical path and never perturbs RNG consumption order.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import single_entity_config
+from repro.core.checkpointing import save_model
+from repro.core.model import EmbeddingModel
+from repro.core.tables import DenseEmbeddingTable
+from repro.core.trainer import PipelineStats, Trainer
+from repro.graph.edgelist import EdgeList
+from repro.graph.entity_storage import EntityStorage
+from repro.graph.partitioning import partition_entities
+from repro.graph.storage import (
+    PartitionCache,
+    PartitionedEmbeddingStorage,
+    StorageError,
+    WritebackQueue,
+)
+from repro.stats.memory import MemoryModel
+
+
+def make_edges(num_nodes=200, num_edges=3000, seed=42) -> EdgeList:
+    rng = np.random.default_rng(seed)
+    return EdgeList(
+        rng.integers(0, num_nodes, num_edges, dtype=np.int64),
+        np.zeros(num_edges, dtype=np.int64),
+        rng.integers(0, num_nodes, num_edges, dtype=np.int64),
+    )
+
+
+def train_run(
+    tmp_path,
+    *,
+    pipeline: bool,
+    num_partitions: int,
+    budget=None,
+    num_nodes=200,
+    num_epochs=2,
+    seed=0,
+    storage_cls=PartitionedEmbeddingStorage,
+    checkpoint_dir=None,
+    **config_kw,
+):
+    """Train a small homogeneous graph; returns (model, stats, storage)."""
+    config = single_entity_config(
+        num_partitions=num_partitions,
+        dimension=8,
+        num_epochs=num_epochs,
+        batch_size=200,
+        chunk_size=50,
+        seed=seed,
+        pipeline=pipeline,
+        partition_cache_budget=budget,
+        checkpoint_dir=checkpoint_dir,
+        **config_kw,
+    )
+    entities = EntityStorage({"node": num_nodes})
+    if num_partitions > 1:
+        entities.set_partitioning(
+            "node",
+            partition_entities(
+                num_nodes, num_partitions, np.random.default_rng(seed)
+            ),
+        )
+    model = EmbeddingModel(config, entities, np.random.default_rng(seed))
+    storage = (
+        storage_cls(tmp_path / ("pipe" if pipeline else "serial"))
+        if num_partitions > 1
+        else None
+    )
+    trainer = Trainer(
+        config, model, entities, storage, np.random.default_rng(seed)
+    )
+    stats = trainer.train(make_edges(num_nodes), )
+    # Reload evicted partitions so the full model is comparable.
+    if storage is not None:
+        for p in range(num_partitions):
+            if not model.has_table("node", p):
+                w, s = storage.load("node", p)
+                model.set_table("node", p, DenseEmbeddingTable(w, s))
+    return model, stats, storage
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("num_partitions", [1, 4])
+    def test_bit_identical_embeddings(self, tmp_path, num_partitions):
+        serial, _, _ = train_run(
+            tmp_path, pipeline=False, num_partitions=num_partitions
+        )
+        piped, _, _ = train_run(
+            tmp_path, pipeline=True, num_partitions=num_partitions
+        )
+        np.testing.assert_array_equal(
+            serial.global_embeddings("node"), piped.global_embeddings("node")
+        )
+        for p in range(num_partitions):
+            np.testing.assert_array_equal(
+                serial.get_table("node", p).optimizer.state,
+                piped.get_table("node", p).optimizer.state,
+            )
+
+    def test_bit_identical_with_zero_cache_budget(self, tmp_path):
+        """budget=0 disables retention but must not affect results."""
+        serial, _, _ = train_run(tmp_path, pipeline=False, num_partitions=4)
+        piped, stats, _ = train_run(
+            tmp_path, pipeline=True, num_partitions=4, budget=0
+        )
+        np.testing.assert_array_equal(
+            serial.global_embeddings("node"), piped.global_embeddings("node")
+        )
+        # Nothing can be retained, so nothing can be served from memory.
+        assert stats.pipeline.prefetch_hits == 0
+        assert stats.pipeline.cache_evictions > 0
+
+    def test_bit_identical_with_stratum_passes(self, tmp_path):
+        serial, _, _ = train_run(
+            tmp_path, pipeline=False, num_partitions=4, stratum_passes=2
+        )
+        piped, _, _ = train_run(
+            tmp_path, pipeline=True, num_partitions=4, stratum_passes=2
+        )
+        np.testing.assert_array_equal(
+            serial.global_embeddings("node"), piped.global_embeddings("node")
+        )
+
+    def test_same_loss_and_swap_trajectory(self, tmp_path):
+        _, s_serial, _ = train_run(
+            tmp_path, pipeline=False, num_partitions=4
+        )
+        _, s_piped, _ = train_run(tmp_path, pipeline=True, num_partitions=4)
+        for e_s, e_p in zip(s_serial.epochs, s_piped.epochs):
+            assert e_s.loss == e_p.loss
+            assert e_s.num_edges == e_p.num_edges
+            # Identical evict/load decisions as the serial path.
+            assert e_s.swaps == e_p.swaps
+
+    def test_pipeline_flag_ignored_when_unpartitioned(self, tmp_path):
+        """pipeline=True with one partition needs no storage at all."""
+        model, stats, _ = train_run(
+            tmp_path, pipeline=True, num_partitions=1
+        )
+        assert stats.pipeline.prefetch_hits == 0
+        assert stats.pipeline.prefetch_misses == 0
+        assert model.global_embeddings("node").shape == (200, 8)
+
+
+class TestCacheAccounting:
+    def test_inside_out_cache_hits(self, tmp_path):
+        """With an unlimited budget every partition stays in memory
+        after its first epoch, so epoch >= 1 swap-ins are all hits."""
+        _, stats, _ = train_run(
+            tmp_path, pipeline=True, num_partitions=4,
+            bucket_order="inside_out", num_epochs=3,
+        )
+        first, *rest = stats.epochs
+        # Epoch 0: first-touch initialisations are misses by definition,
+        # but inside-out's (n, m), (m, n) pairing still re-serves
+        # evicted partitions from the cache.
+        assert first.pipeline.prefetch_misses == 4  # one init per partition
+        assert first.pipeline.prefetch_hits > 0
+        for epoch_stats in rest:
+            assert epoch_stats.pipeline.prefetch_misses == 0
+            assert epoch_stats.pipeline.prefetch_hits > 0
+        assert stats.pipeline.hit_rate > 0.5
+
+    def test_per_epoch_stats_sum_to_run_total(self, tmp_path):
+        _, stats, _ = train_run(
+            tmp_path, pipeline=True, num_partitions=4, num_epochs=3
+        )
+        total = PipelineStats()
+        for e in stats.epochs:
+            total.merge(e.pipeline)
+        assert stats.pipeline.prefetch_hits == total.prefetch_hits
+        assert stats.pipeline.prefetch_misses == total.prefetch_misses
+
+    def test_serial_mode_reports_zero_pipeline_stats(self, tmp_path):
+        _, stats, _ = train_run(
+            tmp_path, pipeline=False, num_partitions=4
+        )
+        p = stats.pipeline
+        assert (p.prefetch_hits, p.prefetch_misses, p.cache_evictions) == (
+            0, 0, 0,
+        )
+        assert p.writeback_stall_time == 0.0
+
+
+class SlowSaveStorage(PartitionedEmbeddingStorage):
+    """Storage whose saves are slow enough to still be in flight when a
+    checkpoint is requested (writeback always lags training here)."""
+
+    def __init__(self, root, delay=0.05):
+        super().__init__(root)
+        self.delay = delay
+        self.completed_saves = 0
+        self._save_lock = threading.Lock()
+
+    def save(self, entity_type, part, embeddings, optim_state):
+        time.sleep(self.delay)
+        super().save(entity_type, part, embeddings, optim_state)
+        with self._save_lock:
+            self.completed_saves += 1
+
+
+class TestWritebackDurability:
+    def test_checkpoint_drains_inflight_writebacks(self, tmp_path):
+        """Training with slow async saves + per-epoch checkpoints: the
+        checkpoint barrier must drain the queue, so after training every
+        partition's stored bytes equal the final in-memory state."""
+        model, stats, storage = train_run(
+            tmp_path, pipeline=True, num_partitions=4, num_epochs=1,
+            storage_cls=SlowSaveStorage,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        assert storage.stored_partitions("node") == [0, 1, 2, 3]
+        for p in range(4):
+            table = model.get_table("node", p)
+            disk_w, disk_s = storage.load("node", p)
+            np.testing.assert_array_equal(disk_w, table.weights)
+            np.testing.assert_array_equal(disk_s, table.optimizer.state)
+
+    def test_save_model_barrier_runs_before_write(self, tmp_path):
+        """save_model(barrier=...) must invoke the barrier before
+        persisting anything — simulating the crash-consistency
+        contract: a checkpoint is only declared after the drain."""
+        store = SlowSaveStorage(tmp_path / "swap", delay=0.2)
+        wb = WritebackQueue(store)
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((6, 4)).astype(np.float32)
+        s = rng.random(6).astype(np.float32)
+        wb.submit("node", 0, w, s)
+        # The write is still in flight: nothing on disk yet.
+        assert not store.exists("node", 0)
+
+        config = single_entity_config(num_partitions=1)
+        entities = EntityStorage({"node": 6})
+        model = EmbeddingModel(config, entities, np.random.default_rng(0))
+        model.init_partition("node", 0, np.random.default_rng(0))
+        events = []
+        save_model(
+            tmp_path / "ckpt", model, entities,
+            barrier=lambda: events.append(wb.drain()),
+        )
+        assert len(events) == 1  # barrier ran
+        assert store.exists("node", 0)  # ...and drained the queue
+        np.testing.assert_array_equal(store.load("node", 0)[0], w)
+        wb.close()
+
+    def test_writeback_error_surfaces_on_drain(self, tmp_path):
+        class BrokenStorage(PartitionedEmbeddingStorage):
+            def save(self, *a, **kw):
+                raise OSError("disk on fire")
+
+        wb = WritebackQueue(BrokenStorage(tmp_path / "swap"))
+        wb.submit(
+            "node", 0,
+            np.zeros((2, 2), np.float32), np.zeros(2, np.float32),
+        )
+        with pytest.raises(StorageError, match="background partition write"):
+            wb.drain()
+
+    def test_flush_before_reuse_blocks_on_pending_write(self, tmp_path):
+        """take() of a dirty entry with an in-flight write must not
+        return until the write lands (the caller will mutate the
+        arrays)."""
+        store = SlowSaveStorage(tmp_path / "swap", delay=0.15)
+        wb = WritebackQueue(store)
+        cache = PartitionCache(store, writeback=wb)
+        w = np.ones((4, 2), np.float32)
+        s = np.ones(4, np.float32)
+        cache.put("node", 0, w, s, dirty=True)
+        got = cache.take("node", 0)  # must block until the save lands
+        assert got is not None
+        assert store.completed_saves == 1
+        wb.close()
+
+
+class TestMemoryModel:
+    def _setup(self, budget):
+        config = single_entity_config(
+            num_partitions=4, dimension=8,
+            pipeline=True, partition_cache_budget=budget,
+        )
+        entities = EntityStorage({"node": 400})
+        entities.set_partitioning(
+            "node", partition_entities(400, 4, np.random.default_rng(0))
+        )
+        return MemoryModel(config, entities)
+
+    def test_unlimited_budget_caps_at_all_partitions(self):
+        mm = self._setup(None)
+        all_parts = sum(mm.partition_bytes("node", p) for p in range(4))
+        assert mm.partition_cache_peak_bytes() == all_parts
+        assert mm.pipelined_peak_bytes() == (
+            mm.single_machine_peak_bytes() + all_parts
+        )
+
+    def test_budget_zero_matches_serial_footprint(self):
+        mm = self._setup(0)
+        assert mm.pipelined_peak_bytes() == mm.single_machine_peak_bytes()
+
+    def test_finite_budget_is_respected(self):
+        budget = 100
+        mm = self._setup(budget)
+        assert mm.partition_cache_peak_bytes() == budget
+
+    def test_trainer_peak_includes_cache(self, tmp_path):
+        _, serial_stats, _ = train_run(
+            tmp_path, pipeline=False, num_partitions=4
+        )
+        _, piped_stats, _ = train_run(
+            tmp_path, pipeline=True, num_partitions=4
+        )
+        # The pipelined run reports cache bytes in its peak, so it is
+        # at least as large as the serial peak.
+        assert (
+            piped_stats.peak_resident_bytes
+            >= serial_stats.peak_resident_bytes
+        )

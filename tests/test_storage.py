@@ -5,8 +5,10 @@ import pytest
 
 from repro.graph.storage import (
     CheckpointStorage,
+    PartitionCache,
     PartitionedEmbeddingStorage,
     StorageError,
+    WritebackQueue,
 )
 
 
@@ -195,3 +197,170 @@ class TestCheckpointModelRoundtrip:
             model.score_pairs(0, s, d), model2.score_pairs(0, s, d)
         )
         del rng
+
+
+class TestStorageRoundtripFuzz:
+    """Round-trip fuzzing of the partition store and the LRU cache.
+
+    Random dtypes and shapes, interleaved save/load/drop, and (for the
+    cache) random dirty puts / takes / prefetch-style clean loads /
+    flushes, checked against a pure-python oracle. The storage layer
+    always lands float32 on disk, so the oracle compares float32 casts
+    (exact for every input dtype: float64/float32/float16 all embed
+    losslessly into or round deterministically to float32).
+    """
+
+    DTYPES = [np.float16, np.float32, np.float64]
+
+    def _random_partition(self, rng):
+        n = int(rng.integers(1, 12))
+        d = int(rng.integers(1, 9))
+        dtype = self.DTYPES[int(rng.integers(len(self.DTYPES)))]
+        emb = rng.standard_normal((n, d)).astype(dtype)
+        state = rng.random(n).astype(dtype)
+        return emb, state
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_storage_interleaved_save_load_drop(self, tmp_path, seed):
+        store = PartitionedEmbeddingStorage(tmp_path)
+        rng = np.random.default_rng(seed)
+        keys = [("node", p) for p in range(3)] + [("item", p) for p in range(2)]
+        disk: dict = {}
+        for _ in range(150):
+            key = keys[int(rng.integers(len(keys)))]
+            op = rng.random()
+            if op < 0.45:
+                emb, state = self._random_partition(rng)
+                store.save(*key, emb, state)
+                disk[key] = (
+                    emb.astype(np.float32), state.astype(np.float32)
+                )
+            elif op < 0.8:
+                if key in disk:
+                    emb, state = store.load(*key)
+                    assert emb.dtype == np.float32
+                    np.testing.assert_array_equal(emb, disk[key][0])
+                    np.testing.assert_array_equal(state, disk[key][1])
+                else:
+                    with pytest.raises(StorageError):
+                        store.load(*key)
+                    assert not store.exists(*key)
+            else:
+                store.drop(*key)
+                disk.pop(key, None)
+        for etype in ("node", "item"):
+            assert store.stored_partitions(etype) == sorted(
+                p for (t, p) in disk if t == etype
+            )
+
+    @pytest.mark.parametrize("use_writeback", [False, True])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cache_interleaved_ops_match_oracle(
+        self, tmp_path, seed, use_writeback
+    ):
+        """Interleaved put(dirty)/take/prefetch/flush through the cache
+        must always reproduce the latest version of each partition,
+        covering every dirty-tracking state (clean, dirty-pending,
+        dirty-unqueued)."""
+        store = PartitionedEmbeddingStorage(tmp_path)
+        wb = WritebackQueue(store) if use_writeback else None
+        # Unlimited budget: the oracle mirrors cache membership exactly
+        # (entries only leave via take). Budget pressure is exercised
+        # separately below.
+        cache = PartitionCache(store, budget_bytes=None, writeback=wb)
+        rng = np.random.default_rng(seed)
+        keys = [("node", p) for p in range(4)]
+        latest: dict = {}    # key -> float32 oracle of the last version
+        in_cache: set = set()
+        last_flushed: dict = {}  # key -> float32 oracle of disk contents
+        for _ in range(200):
+            key = keys[int(rng.integers(len(keys)))]
+            op = rng.random()
+            if op < 0.4:  # evict-into-cache (dirty put)
+                emb, state = self._random_partition(rng)
+                cache.put(*key, emb, state, dirty=True)
+                latest[key] = (
+                    emb.astype(np.float32), state.astype(np.float32)
+                )
+                in_cache.add(key)
+                if wb is not None:
+                    last_flushed[key] = latest[key]  # submitted at put
+            elif op < 0.7:  # swap-in (take)
+                got = cache.take(*key)
+                if key in in_cache:
+                    expected = latest[key]  # served from memory
+                elif key in last_flushed:
+                    expected = last_flushed[key]  # synchronous disk read
+                else:
+                    expected = None  # never stored anywhere
+                if expected is None:
+                    assert got is None
+                else:
+                    assert got is not None, key
+                    emb, state = got
+                    np.testing.assert_array_equal(
+                        np.asarray(emb, np.float32), expected[0]
+                    )
+                    np.testing.assert_array_equal(
+                        np.asarray(state, np.float32), expected[1]
+                    )
+                in_cache.discard(key)
+                assert not cache.contains(*key)
+            elif op < 0.85:  # prefetch-style clean reload from disk
+                if key not in in_cache and key in last_flushed:
+                    emb, state = store.load(*key)
+                    cache.put(*key, emb, state, dirty=False)
+                    in_cache.add(key)
+                    latest[key] = last_flushed[key]
+            else:  # barrier: flush dirty + drain
+                cache.flush_dirty()
+                if wb is not None:
+                    wb.drain()
+                for k in in_cache:
+                    last_flushed[k] = latest[k]
+            assert {k for k in keys if cache.contains(*k)} == in_cache
+        cache.flush_dirty()
+        if wb is not None:
+            wb.close()
+        for k in in_cache:
+            last_flushed[k] = latest[k]
+        # After the final barrier, disk state matches the last flushed
+        # version of every partition that ever reached the store.
+        for key, (emb, state) in last_flushed.items():
+            got_emb, got_state = store.load(*key)
+            np.testing.assert_array_equal(got_emb, emb)
+            np.testing.assert_array_equal(got_state, state)
+
+    @pytest.mark.parametrize("budget", [0, 256])
+    def test_cache_budget_pressure_never_loses_data(self, tmp_path, budget):
+        """Under byte-budget pressure evicted dirty entries must be
+        persisted before being dropped: take() falls back to disk and
+        still sees the latest version."""
+        store = PartitionedEmbeddingStorage(tmp_path)
+        wb = WritebackQueue(store)
+        cache = PartitionCache(store, budget_bytes=budget, writeback=wb)
+        rng = np.random.default_rng(11)
+        latest: dict = {}
+        keys = [("node", p) for p in range(4)]
+        for step in range(120):
+            key = keys[int(rng.integers(len(keys)))]
+            if rng.random() < 0.6 or key not in latest:
+                emb, state = self._random_partition(rng)
+                cache.put(*key, emb, state, dirty=True)
+                latest[key] = (
+                    emb.astype(np.float32), state.astype(np.float32)
+                )
+            else:
+                got = cache.take(*key)
+                assert got is not None, key
+                np.testing.assert_array_equal(
+                    np.asarray(got[0], np.float32), latest[key][0]
+                )
+                np.testing.assert_array_equal(
+                    np.asarray(got[1], np.float32), latest[key][1]
+                )
+                del latest[key]
+        assert cache.evictions > 0
+        if budget:
+            assert cache.nbytes() <= budget
+        wb.close()

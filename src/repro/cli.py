@@ -14,6 +14,11 @@ Edge files are ``.npz`` archives with ``src``, ``rel``, ``dst`` int64
 arrays (and optional ``weights``), or whitespace-separated text files
 with ``src rel dst`` columns. Entity counts are inferred from the edges
 unless the config's metadata provides them.
+
+Configs with ``num_machines > 1`` train on the simulated cluster
+(``--mode thread|process``); ``--pipeline`` and
+``--partition-cache-budget`` then control the per-machine
+partition-server prefetch pipeline instead of the disk pipeline.
 """
 
 from __future__ import annotations
@@ -98,6 +103,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 name,
                 partition_entities(counts[name], schema.num_partitions, rng),
             )
+    if config.num_machines > 1:
+        return _train_distributed(args, config, entities, edges)
     model = EmbeddingModel(config, entities)
     storage = None
     if any(s.num_partitions > 1 for s in config.entities.values()):
@@ -143,6 +150,53 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"{p.writeback_stall_time:.1f}s writeback stall"
         )
     if args.checkpoint is not None and storage is None:
+        save_model(args.checkpoint, model, entities,
+                   metadata={"epoch": config.num_epochs - 1})
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _train_distributed(
+    args: argparse.Namespace,
+    config: ConfigSchema,
+    entities: EntityStorage,
+    edges: EdgeList,
+) -> int:
+    """Train on the simulated cluster (config.num_machines > 1); the
+    ``--pipeline`` / ``--partition-cache-budget`` flags apply to the
+    per-machine partition-server prefetch pipeline."""
+    from repro.distributed.cluster import DistributedTrainer
+
+    if args.bandwidth is not None and args.mode == "process":
+        print(
+            "warning: --bandwidth only applies to thread mode "
+            "(process mode pays real IPC costs); ignoring it",
+            file=sys.stderr,
+        )
+    trainer = DistributedTrainer(
+        config, entities,
+        mode=args.mode,
+        bandwidth_bytes_per_s=args.bandwidth,
+    )
+    # No after_epoch callback: passing one makes the coordinator
+    # assemble the full model every epoch (every partition copied off
+    # the server) while all machines idle at the barrier.
+    model, stats = trainer.train(edges)
+    for epoch, seconds in enumerate(stats.epoch_times):
+        print(f"epoch {epoch}: {seconds:.1f}s")
+    print(
+        f"done: {stats.total_edges} edge-visits on "
+        f"{config.num_machines} machines in {stats.total_time:.1f}s, "
+        f"peak/machine {stats.peak_machine_bytes / 1e6:.1f} MB, "
+        f"idle {stats.mean_idle_fraction:.0%}"
+    )
+    if config.pipeline:
+        print(
+            f"pipeline: {stats.prefetch_hit_rate:.0%} prefetch hit rate, "
+            f"{stats.reservation_accuracy:.0%} reservation accuracy, "
+            f"{stats.transfer_overlap_seconds:.1f}s transfer overlapped"
+        )
+    if args.checkpoint is not None:
         save_model(args.checkpoint, model, entities,
                    metadata={"epoch": config.num_epochs - 1})
         print(f"checkpoint written to {args.checkpoint}")
@@ -202,7 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--partition-cache-budget", type=int, default=None,
                          metavar="BYTES",
                          help="byte budget of the pipelined partition "
-                              "cache (default: unlimited)")
+                              "cache (default: unlimited; per machine "
+                              "in distributed mode)")
+    p_train.add_argument("--mode", choices=("thread", "process"),
+                         default="thread",
+                         help="distributed transport when the config "
+                              "has num_machines > 1 (default: thread)")
+    p_train.add_argument("--bandwidth", type=float, default=None,
+                         metavar="BYTES_PER_S",
+                         help="simulated partition-server NIC bandwidth "
+                              "for distributed thread mode "
+                              "(default: no delay)")
     p_train.set_defaults(fn=_cmd_train)
 
     p_eval = sub.add_parser("eval", help="rank held-out edges")

@@ -71,10 +71,9 @@ from repro.graph.edgelist import EdgeList
 from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import BucketedEdges, bucket_edges
 from repro.graph.storage import (
-    PartitionCache,
+    PartitionPipeline,
     PartitionedEmbeddingStorage,
     StorageError,
-    WritebackQueue,
 )
 
 __all__ = ["Trainer", "TrainingStats", "EpochStats", "PipelineStats"]
@@ -209,12 +208,11 @@ class Trainer:
             for t in entities.types
             if t in config.entities and entities.num_partitions(t) == 1
         ]
-        # Pipelined-mode machinery; built per training run.
+        # Pipelined-mode machinery; built per training run. The same
+        # PartitionPipeline subsystem backs the distributed trainer
+        # (with a partition-server backend instead of disk).
         self._pipeline_active = False
-        self._cache: PartitionCache | None = None
-        self._writeback: WritebackQueue | None = None
-        self._prefetch_pool: ThreadPoolExecutor | None = None
-        self._prefetch_futures: "dict[tuple[str, int], object]" = {}
+        self._pipeline: PartitionPipeline | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -251,7 +249,7 @@ class Trainer:
                 stats.epochs.append(epoch_stats)
                 if self.config.checkpoint_dir is not None:
                     stall0 = (
-                        self._writeback.stall_seconds
+                        self._pipeline.writeback.stall_seconds
                         if self._pipeline_active
                         else 0.0
                     )
@@ -261,7 +259,7 @@ class Trainer:
                         # _run_epoch's measurement window; attribute it
                         # to the epoch just checkpointed.
                         epoch_stats.pipeline.writeback_stall_time += (
-                            self._writeback.stall_seconds - stall0
+                            self._pipeline.writeback.stall_seconds - stall0
                         )
                 if after_epoch is not None:
                     after_epoch(epoch, stats)
@@ -283,32 +281,19 @@ class Trainer:
     # ------------------------------------------------------------------
 
     def _start_pipeline(self) -> None:
-        self._writeback = WritebackQueue(self.storage)
-        self._cache = PartitionCache(
+        self._pipeline = PartitionPipeline(
             self.storage,
             budget_bytes=self.config.partition_cache_budget,
-            writeback=self._writeback,
         )
-        self._prefetch_pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="partition-prefetch"
-        )
-        self._prefetch_futures = {}
         self._pipeline_active = True
 
     def _stop_pipeline(self) -> None:
         self._pipeline_active = False
         try:
-            for fut in self._prefetch_futures.values():
-                fut.cancel()
-            self._prefetch_futures = {}
-            if self._prefetch_pool is not None:
-                self._prefetch_pool.shutdown(wait=True)
-            if self._writeback is not None:
-                self._writeback.close()
+            if self._pipeline is not None:
+                self._pipeline.close()
         finally:
-            self._prefetch_pool = None
-            self._cache = None
-            self._writeback = None
+            self._pipeline = None
 
     def _pipeline_barrier(self) -> None:
         """Make the partition store consistent with training state:
@@ -318,11 +303,10 @@ class Trainer:
         for entity_type, part in self.model.resident_tables():
             if self.entities.num_partitions(entity_type) > 1:
                 table = self.model.get_table(entity_type, part)
-                self._writeback.submit(
+                self._pipeline.writeback.submit(
                     entity_type, part, table.weights, table.optimizer.state
                 )
-        self._cache.flush_dirty()
-        self._writeback.drain()
+        self._pipeline.drain()
 
     def _write_checkpoint(self, epoch: int) -> None:
         """Persist the model after an epoch (paper Figure 2: trainers
@@ -385,9 +369,13 @@ class Trainer:
             for bucket in order
         ]
         stall_base = (
-            self._writeback.stall_seconds if self._pipeline_active else 0.0
+            self._pipeline.writeback.stall_seconds
+            if self._pipeline_active
+            else 0.0
         )
-        evict_base = self._cache.evictions if self._pipeline_active else 0
+        evict_base = (
+            self._pipeline.cache.evictions if self._pipeline_active else 0
+        )
         for visit, (stratum, bucket) in enumerate(visits):
             t0 = time.perf_counter()
             if self._pipeline_active:
@@ -400,7 +388,7 @@ class Trainer:
             estats.io_time += time.perf_counter() - t0
             resident = self.model.resident_nbytes()
             if self._pipeline_active:
-                resident += self._cache.nbytes()
+                resident += self._pipeline.cache.nbytes()
             run_stats.peak_resident_bytes = max(
                 run_stats.peak_resident_bytes, resident
             )
@@ -450,10 +438,10 @@ class Trainer:
             estats.io_time += time.perf_counter() - t0
         if self._pipeline_active:
             estats.pipeline.writeback_stall_time = (
-                self._writeback.stall_seconds - stall_base
+                self._pipeline.writeback.stall_seconds - stall_base
             )
             estats.pipeline.cache_evictions = (
-                self._cache.evictions - evict_base
+                self._pipeline.cache.evictions - evict_base
             )
         return estats
 
@@ -530,26 +518,20 @@ class Trainer:
         prefetch to overlap with this bucket's training."""
         from repro.core.tables import DenseEmbeddingTable
 
+        pipe = self._pipeline
         pstats = estats.pipeline
         needed = self._required_partitions(bucket)
         # 1. Settle in-flight prefetch loads so cache state is final
         #    and the prefetch thread is quiescent during 2–4.
-        if self._prefetch_futures:
-            t0 = time.perf_counter()
-            for fut in self._prefetch_futures.values():
-                fut.result()  # surface prefetch-thread failures here
-            pstats.prefetch_wait_time += time.perf_counter() - t0
-            self._prefetch_futures = {}
+        pstats.prefetch_wait_time += pipe.settle()
         # 2. Evict residents this bucket doesn't need. Instead of a
         #    blocking save, they are parked dirty in the cache and
         #    persisted by the writeback thread off the critical path.
         for key in list(self.model.resident_tables()):
             if key not in needed and key[0] not in self._global_types:
                 table = self.model.drop_table(*key)
-                self._cache.put(
-                    key[0], key[1],
-                    table.weights, table.optimizer.state,
-                    dirty=True,
+                pipe.park(
+                    key[0], key[1], table.weights, table.optimizer.state
                 )
                 estats.swaps += 1
         # 3. Load or initialise what the bucket needs — same sorted
@@ -559,11 +541,11 @@ class Trainer:
         for entity_type, part in sorted(needed):
             if self.model.has_table(entity_type, part):
                 continue
-            if self._cache.contains(entity_type, part):
+            got, from_cache = pipe.take(entity_type, part)
+            if from_cache:
                 pstats.prefetch_hits += 1
             else:
                 pstats.prefetch_misses += 1
-            got = self._cache.take(entity_type, part)
             if got is not None:
                 self.model.set_table(
                     entity_type, part, DenseEmbeddingTable(*got)
@@ -575,27 +557,16 @@ class Trainer:
         #    Only partitions that already exist on disk are eligible —
         #    resident and cached ones need no I/O, and absent ones must
         #    be initialised on the main thread (rule 2 of the module
-        #    docstring's ownership rules). With a zero cache budget a
-        #    prefetched entry would be dropped before take() could use
-        #    it, so prefetching would only double the reads.
-        if next_bucket is not None and self.config.partition_cache_budget != 0:
-            for key in sorted(self._required_partitions(next_bucket)):
-                if self.model.has_table(*key) or self._cache.contains(*key):
-                    continue
-                self._prefetch_futures[key] = self._prefetch_pool.submit(
-                    self._prefetch_one, key
-                )
-
-    def _prefetch_one(self, key: "tuple[str, int]") -> None:
-        """Prefetch-thread body: one partition, disk → cache, clean.
-
-        Never touches the model or the RNG; a partition with no stored
-        file is simply skipped (the main thread initialises it)."""
-        try:
-            embeddings, optim_state = self.storage.load(*key)
-        except StorageError:
-            return
-        self._cache.put(key[0], key[1], embeddings, optim_state, dirty=False)
+        #    docstring's ownership rules); the pipeline itself skips
+        #    cached/in-flight keys and disables prefetch at budget 0
+        #    (a staged entry would be dropped before take() could use
+        #    it, so prefetching would only double the reads).
+        if next_bucket is not None:
+            pipe.schedule(
+                key
+                for key in sorted(self._required_partitions(next_bucket))
+                if not self.model.has_table(*key)
+            )
 
     def _evict(self, entity_type: str, part: int) -> None:
         table = self.model.drop_table(entity_type, part)

@@ -25,6 +25,40 @@ Two transports are provided:
 In both modes the caller is the coordinator: workers meet a barrier at
 each epoch end; the coordinator flushes learning-curve evaluations,
 resets the lock server, and releases the next epoch.
+
+Pipelined mode (``config.pipeline``)
+------------------------------------
+
+The serial protocol pays a full partition-server round-trip between
+buckets: push back the partitions the new bucket doesn't need, then
+fetch its partitions, all before training resumes. With
+``pipeline=True`` each machine runs the same
+:class:`~repro.graph.storage.PartitionPipeline` subsystem the
+single-machine trainer uses, backed by a
+:class:`~repro.distributed.partition_server.PartitionServerStorage`
+adapter instead of disk:
+
+- after swapping a bucket in, the machine asks the lock server to
+  :meth:`~repro.distributed.lock_server.LockServer.reserve` its likely
+  *next* bucket and prefetches that bucket's partitions from the
+  partition server while the current bucket trains (a wrong prediction
+  — the reservation lost to another machine's acquire — just costs a
+  prefetch miss; staged copies are version-checked against the server
+  so a stale prefetch is never consumed);
+- evicted partitions are parked dirty in the staging cache and pushed
+  back by the writeback thread off the critical path. The machine
+  releases its bucket with ``defer=True``: the lock server keeps those
+  partitions unavailable to other machines until the push-back lands
+  (the on-flush callback calls ``commit_partition``), which is the
+  PR-1 flush-before-reuse invariant applied to the network path;
+- the epoch-end flush becomes park-everything + a drain barrier, so
+  the partition server is complete and consistent before the
+  coordinator assembles a model or checkpoints (PR-1's drain-barrier
+  invariant).
+
+First-touch initialisation always happens on the owning machine's main
+thread (never on the prefetch thread), so with one machine the
+pipelined run is bit-identical to the serial run under a fixed seed.
 """
 
 from __future__ import annotations
@@ -48,11 +82,15 @@ from repro.distributed.parameter_server import (
     ParameterServer,
     SharedParameterClient,
 )
-from repro.distributed.partition_server import PartitionServer
+from repro.distributed.partition_server import (
+    PartitionServer,
+    PartitionServerStorage,
+)
 from repro.graph.buckets import Bucket
 from repro.graph.edgelist import EdgeList
 from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import BucketedEdges, bucket_edges
+from repro.graph.storage import PartitionPipeline
 
 __all__ = ["DistributedTrainer", "MachineStats", "DistributedStats"]
 
@@ -62,7 +100,19 @@ _BARRIER_TIMEOUT = 3600.0
 
 @dataclass
 class MachineStats:
-    """Per-machine accounting."""
+    """Per-machine accounting.
+
+    The pipeline block is all zero in serial (non-pipelined) mode. A
+    *prefetch hit* is a bucket partition served from the staging cache
+    (prefetched off the reservation, or retained since this machine
+    last held it); a *miss* paid a synchronous partition-server fetch
+    or a first-touch initialisation; a *stale prefetch* is a staged
+    copy discarded because another machine pushed a newer version
+    before the bucket was acquired. ``transfer_overlap_time`` is the
+    partition-server I/O wall time this machine's background threads
+    absorbed off the critical path (total adapter I/O seconds minus the
+    swap/flush time still paid inline).
+    """
 
     machine: int
     buckets_trained: int = 0
@@ -72,6 +122,15 @@ class MachineStats:
     idle_time: float = 0.0
     transfer_time: float = 0.0
     peak_resident_bytes: int = 0
+    # Pipelined distributed mode.
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    stale_prefetches: int = 0
+    prefetch_wait_time: float = 0.0
+    writeback_stall_time: float = 0.0
+    transfer_overlap_time: float = 0.0
+    reservations: int = 0
+    reservation_hits: int = 0
 
 
 @dataclass
@@ -97,6 +156,27 @@ class DistributedStats:
         idle = sum(m.idle_time for m in self.machines)
         return idle / (busy + idle) if busy + idle > 0 else 0.0
 
+    @property
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of bucket swap-ins served from the staging caches."""
+        hits = sum(m.prefetch_hits for m in self.machines)
+        total = hits + sum(m.prefetch_misses for m in self.machines)
+        return hits / total if total else 0.0
+
+    @property
+    def reservation_accuracy(self) -> float:
+        """Fraction of lock-server reservations that predicted the
+        bucket actually granted next."""
+        hits = sum(m.reservation_hits for m in self.machines)
+        total = sum(m.reservations for m in self.machines)
+        return hits / total if total else 0.0
+
+    @property
+    def transfer_overlap_seconds(self) -> float:
+        """Partition-server transfer seconds hidden behind compute,
+        summed over machines."""
+        return sum(m.transfer_overlap_time for m in self.machines)
+
 
 class _ServerManager(BaseManager):
     """Manager hosting the three coordination servers for process mode."""
@@ -120,6 +200,37 @@ class _WorkerContext:
     unpartitioned_types: "list[str]"
 
 
+class _PartitionCommitter:
+    """Translates writeback completions into lock-server commits.
+
+    A partition index may be parked once per partitioned entity type;
+    its lock-server deferral must lift only after *all* of those pushes
+    land. ``expect`` registers a pending push (main thread, at park
+    time); ``landed`` (writeback thread, possibly a sync-eviction path)
+    commits once the count drains. Over-delivery is harmless:
+    ``commit_partition`` is a no-op for non-deferred partitions.
+    """
+
+    def __init__(self, lock_server, machine: int) -> None:
+        self._lock_server = lock_server
+        self._machine = machine
+        self._lock = threading.Lock()
+        self._pending: "dict[int, int]" = {}
+
+    def expect(self, part: int) -> None:
+        with self._lock:
+            self._pending[part] = self._pending.get(part, 0) + 1
+
+    def landed(self, part: int) -> None:
+        with self._lock:
+            n = self._pending.get(part, 0) - 1
+            if n > 0:
+                self._pending[part] = n
+                return
+            self._pending.pop(part, None)
+        self._lock_server.commit_partition(self._machine, part)
+
+
 def _machine_main(
     ctx: _WorkerContext,
     lock_server,
@@ -131,6 +242,11 @@ def _machine_main(
     """One machine's full run (works with objects or proxies)."""
     cfg = ctx.config
     mstats = MachineStats(ctx.machine)
+    pipe = None
+    backend = None
+    #: wall seconds of partition-server I/O paid on the critical path
+    #: (swap-in waits, epoch flush barriers) — the overlap baseline.
+    inline_io = 0.0
     try:
         rng = np.random.default_rng(
             np.random.SeedSequence([ctx.seed, ctx.machine])
@@ -152,26 +268,71 @@ def _machine_main(
             sync_interval=cfg.parameter_sync_interval,
         )
         client.initial_sync()
+        committer = None
+        if cfg.pipeline:
+            backend = PartitionServerStorage(partition_server)
+            pipe = PartitionPipeline(
+                backend,
+                budget_bytes=cfg.partition_cache_budget,
+                validate=backend.is_current,
+            )
+            committer = _PartitionCommitter(lock_server, ctx.machine)
 
         for _epoch in range(cfg.num_epochs):
+            reserved: Bucket | None = None
             while True:
                 bucket = lock_server.acquire(ctx.machine)
                 if bucket is None:
                     if lock_server.epoch_done():
                         break
+                    if pipe is not None:
+                        # Starved: give up deferred-resident partitions
+                        # so other machines can schedule around us (two
+                        # starved machines cross-holding each other's
+                        # next partitions would otherwise never make
+                        # progress).
+                        _park_residents(ctx, model, pipe, committer)
                     t0 = time.perf_counter()
                     time.sleep(_IDLE_SLEEP)
                     mstats.idle_time += time.perf_counter() - t0
                     continue
                 bucket = Bucket(*bucket)
+                if reserved is not None:
+                    if reserved == bucket:
+                        mstats.reservation_hits += 1
+                    reserved = None
                 t0 = time.perf_counter()
-                _swap_to_bucket(ctx, model, bucket, partition_server, rng)
-                mstats.transfer_time += time.perf_counter() - t0
+                if pipe is not None:
+                    _swap_to_bucket_pipelined(
+                        ctx, model, bucket, pipe, committer, rng, mstats
+                    )
+                else:
+                    _swap_to_bucket(ctx, model, bucket, partition_server, rng)
+                elapsed = time.perf_counter() - t0
+                mstats.transfer_time += elapsed
+                inline_io += elapsed
                 hosted = partition_server.shard_nbytes()[ctx.machine]
+                resident = model.resident_nbytes() + hosted
+                if pipe is not None:
+                    resident += pipe.cache.nbytes()
                 mstats.peak_resident_bytes = max(
-                    mstats.peak_resident_bytes,
-                    model.resident_nbytes() + hosted,
+                    mstats.peak_resident_bytes, resident
                 )
+                if pipe is not None:
+                    # Two-phase protocol: learn the likely next bucket
+                    # and pull its partitions from the partition server
+                    # while this bucket trains.
+                    nxt = lock_server.reserve(ctx.machine)
+                    if nxt is not None:
+                        reserved = Bucket(*nxt)
+                        mstats.reservations += 1
+                        pipe.schedule(
+                            key
+                            for key in sorted(
+                                _needed_partitions(ctx, reserved)
+                            )
+                            if not model.has_table(*key)
+                        )
                 edges = ctx.bucketed.edges_for(bucket)
                 t1 = time.perf_counter()
                 bstats = _train_bucket(ctx, model, client, bucket, edges, rng)
@@ -179,21 +340,47 @@ def _machine_main(
                 mstats.loss += bstats.loss
                 mstats.num_edges += bstats.num_edges
                 mstats.buckets_trained += 1
-                lock_server.release(ctx.machine, bucket)
+                lock_server.release(
+                    ctx.machine, bucket, defer=pipe is not None
+                )
 
             # Flush resident partitions so the epoch-end model is complete.
             t0 = time.perf_counter()
-            _flush_partitions(ctx, model, partition_server)
+            if pipe is not None:
+                # Drain barrier (PR-1 invariant, network path): every
+                # push-back must land before the coordinator assembles
+                # a model or checkpoints from the partition server.
+                mstats.prefetch_wait_time += pipe.settle()
+                _park_residents(ctx, model, pipe, committer)
+                pipe.drain()
+            else:
+                _flush_partitions(ctx, model, partition_server)
+            inline_io += time.perf_counter() - t0
             client.maybe_sync(force=True)
             mstats.transfer_time += time.perf_counter() - t0
             barrier.wait(_BARRIER_TIMEOUT)  # epoch end
             barrier.wait(_BARRIER_TIMEOUT)  # coordinator go-ahead
+        if pipe is not None:
+            mstats.stale_prefetches = pipe.stale_hits
+            mstats.writeback_stall_time = pipe.writeback.stall_seconds
+            # Partition-server I/O hidden behind compute: total adapter
+            # I/O seconds minus what was still paid inline (swap waits,
+            # flush barriers) — parameter-server sync is excluded.
+            mstats.transfer_overlap_time = max(
+                0.0, backend.io_seconds - inline_io
+            )
         result_queue.put(("ok", mstats))
     except BaseException as exc:
         try:
             barrier.abort()
         finally:
             result_queue.put(("error", repr(exc)))
+    finally:
+        if pipe is not None:
+            try:
+                pipe.close()
+            except Exception:
+                pass  # teardown must not mask the run's outcome
 
 
 def _needed_partitions(
@@ -243,6 +430,73 @@ def _flush_partitions(
         table = model.drop_table(entity_type, part)
         partition_server.put(
             entity_type, part, table.weights, table.optimizer.state
+        )
+
+
+def _swap_to_bucket_pipelined(
+    ctx: _WorkerContext,
+    model: EmbeddingModel,
+    bucket: Bucket,
+    pipe: PartitionPipeline,
+    committer: _PartitionCommitter,
+    rng: np.random.Generator,
+    mstats: MachineStats,
+) -> None:
+    """Pipelined swap: consume prefetched partitions, push evictions
+    back asynchronously, commit their lock-server deferrals on land.
+
+    Mirrors the single-machine trainer's pipelined swap; the ownership
+    rules are identical — first-touch initialisation happens here, on
+    the owning machine's main thread, never on the prefetch thread, so
+    RNG consumption order matches the serial path.
+    """
+    needed = _needed_partitions(ctx, bucket)
+    # 1. Settle in-flight prefetch loads so cache state is final.
+    mstats.prefetch_wait_time += pipe.settle()
+    # 2. Park residents this bucket doesn't need: the writeback thread
+    #    pushes them to the partition server off the critical path, and
+    #    the lock server's deferral lifts when each push lands.
+    _park_residents(ctx, model, pipe, committer, keep=needed)
+    # 3. Load or initialise what the bucket needs. take() enforces
+    #    flush-before-reuse (blocks on an in-flight push of the same
+    #    arrays) and discards staged copies another machine has
+    #    superseded on the server (version check).
+    for entity_type, part in sorted(needed):
+        if model.has_table(entity_type, part):
+            continue
+        got, from_cache = pipe.take(entity_type, part)
+        if from_cache:
+            mstats.prefetch_hits += 1
+        else:
+            mstats.prefetch_misses += 1
+        if got is None:
+            # First touch stays on the owning machine.
+            model.init_partition(entity_type, part, rng)
+        else:
+            model.set_table(entity_type, part, DenseEmbeddingTable(*got))
+
+
+def _park_residents(
+    ctx: _WorkerContext,
+    model: EmbeddingModel,
+    pipe: PartitionPipeline,
+    committer: _PartitionCommitter,
+    keep: "set[tuple[str, int]]" = frozenset(),
+) -> None:
+    """Drop partitioned resident tables (except ``keep``) into the
+    staging cache dirty, committing each partition's lock-server
+    deferral when its push lands. Used by the pipelined swap (keep =
+    the new bucket's partitions), at epoch end before the drain
+    barrier, and when starved by the lock server (so deferred
+    partitions cannot wedge the grid)."""
+    for key in list(model.resident_tables()):
+        if key in keep or key[0] in ctx.unpartitioned_types:
+            continue
+        table = model.drop_table(*key)
+        committer.expect(key[1])
+        pipe.park(
+            key[0], key[1], table.weights, table.optimizer.state,
+            on_flushed=lambda part=key[1]: committer.landed(part),
         )
 
 

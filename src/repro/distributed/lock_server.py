@@ -11,6 +11,35 @@ Up to ``P/2`` machines can hold disjoint buckets on a ``P x P`` grid,
 which is why the paper pairs ``M`` machines with ``2M`` partitions.
 A machine that finds no eligible bucket idles and retries — the
 "incomplete occupancy" overhead discussed with Table 3.
+
+Two-phase reservation protocol (pipelined distributed training)
+---------------------------------------------------------------
+
+:meth:`LockServer.reserve` predicts the bucket a machine's *next*
+:meth:`~LockServer.acquire` would be granted — the same affinity /
+alignment preference order, evaluated as if the machine had already
+released its current bucket. Reservations are purely advisory: they
+never lock partitions and never change what ``acquire`` later grants,
+so scheduling is identical with and without them. A machine uses the
+prediction to prefetch the reserved bucket's partitions from the
+partition server while still training the current bucket; a reservation
+that loses to another machine's acquire simply costs a prefetch miss
+(``reservation_misses`` counts them, hits/misses give the reservation
+accuracy).
+
+Deferred release (the network flush-before-reuse invariant)
+-----------------------------------------------------------
+
+With asynchronous partition push-back, a machine's updated bytes may
+still be in flight when the next machine wants the partition. A
+``release(..., defer=True)`` therefore keeps the bucket's partitions
+*deferred*: unavailable to other machines (who would fetch stale bytes
+from the partition server) but immediately re-acquirable by the owner
+(whose resident copy is the freshest). :meth:`commit_partition` — called
+from the owner's writeback thread once the push lands — lifts the
+deferral. This is the PR-1 flush-before-reuse rule applied to the
+network path: no consumer may observe a partition whose latest write
+has not landed.
 """
 
 from __future__ import annotations
@@ -25,12 +54,19 @@ __all__ = ["LockServer", "LockServerStats"]
 
 @dataclass
 class LockServerStats:
-    """Counters for diagnosing scheduling behaviour."""
+    """Counters for diagnosing scheduling behaviour.
+
+    ``epochs`` counts *completed* epoch resets (:meth:`LockServer.new_epoch`
+    calls), so it reads 0 while the first training epoch is still running.
+    """
 
     acquires: int = 0
     failed_acquires: int = 0
     affinity_hits: int = 0
     epochs: int = 0
+    reservations: int = 0
+    reservation_hits: int = 0
+    reservation_misses: int = 0
 
 
 @dataclass
@@ -39,6 +75,9 @@ class _State:
     locked_partitions: "set[int]" = field(default_factory=set)
     initialized_partitions: "set[int]" = field(default_factory=set)
     active: "dict[int, Bucket]" = field(default_factory=dict)
+    #: partition -> machine: released but the machine's async push-back
+    #: has not landed yet; unavailable to everyone but that machine.
+    deferred: "dict[int, int]" = field(default_factory=dict)
     done_any: bool = False
 
 
@@ -61,9 +100,12 @@ class LockServer:
             for j in range(nparts_rhs)
         ]
         self._lock = threading.Lock()
-        self._state = _State()
         self.stats = LockServerStats()
-        self.new_epoch()
+        # Per-machine previous bucket (affinity) and outstanding advisory
+        # reservation; both survive epoch resets.
+        self._prev: "dict[int, Bucket]" = {}
+        self._reserved: "dict[int, Bucket]" = {}
+        self._state = _State(remaining=set(self._all_buckets))
 
     # ------------------------------------------------------------------
 
@@ -71,13 +113,21 @@ class LockServer:
         """Reset the remaining-bucket set for a new pass over the grid.
 
         Initialised partitions carry over between epochs (they are
-        trained, hence aligned); active locks must have been released.
+        trained, hence aligned); active locks must have been released
+        and deferred push-backs committed.
         """
         with self._lock:
             if self._state.active:
                 raise RuntimeError(
                     f"cannot start an epoch with active buckets: "
                     f"{self._state.active}"
+                )
+            if self._state.deferred:
+                raise RuntimeError(
+                    f"cannot start an epoch with uncommitted deferred "
+                    f"partitions: {self._state.deferred} (machines must "
+                    f"drain their push-back queues before the epoch "
+                    f"barrier)"
                 )
             init = (
                 self._state.initialized_partitions
@@ -90,14 +140,59 @@ class LockServer:
                 initialized_partitions=init,
                 done_any=done_any,
             )
+            # A reservation made against the drained grid is meaningless
+            # for the fresh one; scoring it would skew accuracy stats.
+            self._reserved.clear()
             self.stats.epochs += 1
+
+    def _select(
+        self,
+        machine: int,
+        remaining: "set[Bucket]",
+        locked: "set[int]",
+        deferred: "dict[int, int]",
+        initialized: "set[int]",
+        prev: "Bucket | None",
+        done_any: bool,
+        has_active: bool,
+    ) -> "tuple[Bucket | None, tuple | None]":
+        """The shared preference order of ``acquire`` and ``reserve``:
+        (1) buckets sharing a partition with the machine's previous
+        bucket (partition reuse), (2) buckets with the most initialised
+        partitions (alignment), (3) grid order."""
+        best: Bucket | None = None
+        best_key: tuple | None = None
+        for bucket in remaining:
+            parts = {bucket.lhs, bucket.rhs}
+            if parts & locked:
+                continue
+            if any(deferred.get(p, machine) != machine for p in parts):
+                # Another machine's push-back for this partition has not
+                # landed on the partition server yet; fetching it now
+                # would observe stale bytes.
+                continue
+            n_init = len(parts & initialized)
+            if n_init == 0 and (done_any or has_active):
+                # Alignment invariant: only the very first bucket of
+                # a run may touch two uninitialised partitions — a
+                # concurrent fresh-fresh bucket would seed a second,
+                # unaligned embedding space.
+                continue
+            affinity = 0
+            if prev is not None:
+                affinity = len(parts & {prev.lhs, prev.rhs})
+            key = (affinity, n_init, -bucket.lhs, -bucket.rhs)
+            if best_key is None or key > best_key:
+                best, best_key = bucket, key
+        return best, best_key
 
     def acquire(self, machine: int) -> Bucket | None:
         """Request a bucket for ``machine``; None if nothing is eligible.
 
-        Preference order: (1) buckets sharing a partition with the
-        machine's previous bucket (partition reuse), (2) buckets with
-        the most initialised partitions (alignment), (3) grid order.
+        Partitions deferred by this machine (released with
+        ``defer=True``, push-back still in flight) are re-acquirable by
+        it — its resident copy is the freshest — and reclaiming them
+        clears the deferral.
         """
         with self._lock:
             st = self._state
@@ -105,39 +200,84 @@ class LockServer:
                 raise RuntimeError(
                     f"machine {machine} already holds {st.active[machine]}"
                 )
-            prev = self._prev.get(machine)
-            best: Bucket | None = None
-            best_key: tuple | None = None
-            for bucket in st.remaining:
-                parts = {bucket.lhs, bucket.rhs}
-                if parts & st.locked_partitions:
-                    continue
-                n_init = len(parts & st.initialized_partitions)
-                if n_init == 0 and (st.done_any or st.active):
-                    # Alignment invariant: only the very first bucket of
-                    # a run may touch two uninitialised partitions — a
-                    # concurrent fresh-fresh bucket would seed a second,
-                    # unaligned embedding space.
-                    continue
-                affinity = 0
-                if prev is not None:
-                    affinity = len(parts & {prev.lhs, prev.rhs})
-                key = (affinity, n_init, -bucket.lhs, -bucket.rhs)
-                if best_key is None or key > best_key:
-                    best, best_key = bucket, key
+            best, best_key = self._select(
+                machine,
+                st.remaining,
+                st.locked_partitions,
+                st.deferred,
+                st.initialized_partitions,
+                self._prev.get(machine),
+                st.done_any,
+                bool(st.active),
+            )
             if best is None:
                 self.stats.failed_acquires += 1
                 return None
+            reserved = self._reserved.pop(machine, None)
+            if reserved is not None:
+                if reserved == best:
+                    self.stats.reservation_hits += 1
+                else:
+                    self.stats.reservation_misses += 1
             st.remaining.discard(best)
-            st.locked_partitions.update((best.lhs, best.rhs))
+            for p in (best.lhs, best.rhs):
+                st.deferred.pop(p, None)
+                st.locked_partitions.add(p)
             st.active[machine] = best
             self.stats.acquires += 1
             if best_key[0] > 0:
                 self.stats.affinity_hits += 1
             return best
 
-    def release(self, machine: int, bucket: Bucket) -> None:
-        """Return a trained bucket; unlocks and marks partitions aligned."""
+    def reserve(self, machine: int) -> Bucket | None:
+        """Predict (without locking anything) the bucket this machine's
+        next :meth:`acquire` would be granted, evaluated as if it had
+        already released its current bucket. Purely advisory — used to
+        prefetch the next bucket's partitions during training; the
+        prediction can be invalidated by any other machine's acquire.
+        """
+        with self._lock:
+            st = self._state
+            cur = st.active.get(machine)
+            locked = set(st.locked_partitions)
+            initialized = set(st.initialized_partitions)
+            prev = self._prev.get(machine)
+            done_any = st.done_any
+            others_active = bool(
+                {m for m in st.active if m != machine}
+            )
+            if cur is not None:
+                locked.difference_update((cur.lhs, cur.rhs))
+                initialized.update((cur.lhs, cur.rhs))
+                prev = cur
+                done_any = True
+            best, _ = self._select(
+                machine,
+                st.remaining,
+                locked,
+                st.deferred,
+                initialized,
+                prev,
+                done_any,
+                others_active,
+            )
+            if best is None:
+                self._reserved.pop(machine, None)
+                return None
+            self.stats.reservations += 1
+            self._reserved[machine] = best
+            return best
+
+    def release(
+        self, machine: int, bucket: Bucket, defer: bool = False
+    ) -> None:
+        """Return a trained bucket; unlocks and marks partitions aligned.
+
+        With ``defer=True`` (pipelined distributed mode) the partitions
+        stay unavailable to *other* machines until
+        :meth:`commit_partition` confirms the releasing machine's
+        asynchronous push-back has landed on the partition server.
+        """
         with self._lock:
             st = self._state
             if st.active.get(machine) != bucket:
@@ -147,9 +287,22 @@ class LockServer:
                 )
             del st.active[machine]
             st.locked_partitions.difference_update((bucket.lhs, bucket.rhs))
+            if defer:
+                for p in (bucket.lhs, bucket.rhs):
+                    st.deferred[p] = machine
             st.initialized_partitions.update((bucket.lhs, bucket.rhs))
             st.done_any = True
             self._prev[machine] = bucket
+
+    def commit_partition(self, machine: int, part: int) -> None:
+        """Confirm that ``machine``'s deferred push-back of ``part`` has
+        landed on the partition server; the partition becomes available
+        to everyone. No-op if the machine reclaimed the partition in the
+        meantime (its acquire cleared the deferral) — safe to call from
+        writeback threads without coordination."""
+        with self._lock:
+            if self._state.deferred.get(part) == machine:
+                del self._state.deferred[part]
 
     def remaining_count(self) -> int:
         with self._lock:
@@ -158,11 +311,3 @@ class LockServer:
     def epoch_done(self) -> bool:
         with self._lock:
             return not self._state.remaining and not self._state.active
-
-    # Per-machine previous bucket, for affinity (outside _State because
-    # it survives epoch resets).
-    @property
-    def _prev(self) -> "dict[int, Bucket]":
-        if not hasattr(self, "_prev_buckets"):
-            self._prev_buckets: dict[int, Bucket] = {}
-        return self._prev_buckets

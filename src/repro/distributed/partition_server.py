@@ -8,8 +8,17 @@ bucket and pushes back the partitions it no longer needs.
 In this simulation, shards are per-machine in-memory stores behind
 locks, and every get/put deep-copies its arrays — machines therefore
 never alias each other's parameters, so transfer semantics (and an
-optional bandwidth model that converts bytes into sleep time) are
-faithful; only the wire is missing.
+optional bandwidth model) are faithful; only the wire is missing.
+
+The bandwidth model treats each shard's NIC as a *shared* device:
+concurrent transfers against the same shard queue behind one another
+(``nic_free_at`` tracks when the device frees up), so N simultaneous
+fetches take ~N× one fetch rather than all completing in parallel —
+the contention a real sharded server exhibits. Every ``put`` bumps a
+per-key version counter; :class:`PartitionServerStorage` records the
+version it observed so pipelined trainers can detect that a staged
+(prefetched) copy went stale because another machine pushed an update
+in the meantime.
 """
 
 from __future__ import annotations
@@ -20,18 +29,33 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["PartitionServer", "PartitionServerStats"]
+from repro.graph.storage import StorageError
+
+__all__ = [
+    "PartitionServer",
+    "PartitionServerStats",
+    "PartitionServerStorage",
+]
 
 
 @dataclass
 class PartitionServerStats:
-    """Transfer counters, per server."""
+    """Transfer counters, per server.
+
+    ``gets`` counts every fetch attempt — including ones that return
+    None (``misses``) — so hit rates can be derived; bytes accrue only
+    for transfers that actually moved data. ``simulated_transfer_seconds``
+    is the pure bytes/bandwidth cost; ``simulated_queue_seconds`` is the
+    extra time transfers spent waiting for a busy shard NIC.
+    """
 
     gets: int = 0
     puts: int = 0
+    misses: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
     simulated_transfer_seconds: float = 0.0
+    simulated_queue_seconds: float = 0.0
 
 
 @dataclass
@@ -40,6 +64,9 @@ class _Shard:
     store: "dict[tuple[str, int], tuple[np.ndarray, np.ndarray]]" = field(
         default_factory=dict
     )
+    versions: "dict[tuple[str, int], int]" = field(default_factory=dict)
+    #: monotonic timestamp at which this shard's simulated NIC is free
+    nic_free_at: float = 0.0
 
 
 class PartitionServer:
@@ -51,9 +78,11 @@ class PartitionServer:
         Number of hosting machines; partition ``p`` of any entity type
         lives on shard ``p % num_shards``.
     bandwidth_bytes_per_s:
-        Optional simulated network bandwidth; each transfer sleeps
-        ``nbytes / bandwidth``. ``None`` disables the delay (the
-        default for tests and fast benchmarks).
+        Optional simulated network bandwidth per shard NIC; each
+        transfer occupies the shard's NIC for ``nbytes / bandwidth``
+        seconds, and concurrent transfers on one shard serialise.
+        ``None`` disables the delay (the default for tests and fast
+        benchmarks).
     """
 
     def __init__(
@@ -73,8 +102,9 @@ class PartitionServer:
     def _shard(self, part: int) -> _Shard:
         return self._shards[part % len(self._shards)]
 
-    def _account(self, nbytes: int, sent: bool) -> None:
+    def _account(self, shard: _Shard, nbytes: int, sent: bool) -> None:
         delay = nbytes / self.bandwidth if self.bandwidth else 0.0
+        wait = 0.0
         with self._stats_lock:
             if sent:
                 self.stats.gets += 1
@@ -83,8 +113,21 @@ class PartitionServer:
                 self.stats.puts += 1
                 self.stats.bytes_received += nbytes
             self.stats.simulated_transfer_seconds += delay
-        if delay:
-            time.sleep(delay)
+            if delay:
+                # The shard's NIC is shared: this transfer starts when
+                # the device frees up, not immediately.
+                now = time.monotonic()
+                start = max(now, shard.nic_free_at)
+                shard.nic_free_at = start + delay
+                self.stats.simulated_queue_seconds += start - now
+                wait = (start + delay) - now
+        if wait > 0:
+            time.sleep(wait)
+
+    def _account_miss(self) -> None:
+        with self._stats_lock:
+            self.stats.gets += 1
+            self.stats.misses += 1
 
     # ------------------------------------------------------------------
 
@@ -94,29 +137,55 @@ class PartitionServer:
         part: int,
         embeddings: np.ndarray,
         optim_state: np.ndarray,
-    ) -> None:
-        """Store a partition (the server keeps its own copy)."""
+    ) -> int:
+        """Store a partition (the server keeps its own copy); returns
+        the partition's new version number."""
         emb = np.array(embeddings, copy=True)
         state = np.array(optim_state, copy=True)
         shard = self._shard(part)
+        key = (entity_type, part)
         with shard.lock:
-            shard.store[(entity_type, part)] = (emb, state)
-        self._account(emb.nbytes + state.nbytes, sent=False)
+            shard.store[key] = (emb, state)
+            version = shard.versions.get(key, 0) + 1
+            shard.versions[key] = version
+        self._account(shard, emb.nbytes + state.nbytes, sent=False)
+        return version
+
+    def get_versioned(
+        self, entity_type: str, part: int
+    ) -> "tuple[np.ndarray, np.ndarray, int] | None":
+        """Fetch a partition copy plus its version; None if never stored."""
+        shard = self._shard(part)
+        key = (entity_type, part)
+        with shard.lock:
+            entry = shard.store.get(key)
+            if entry is None:
+                version = None
+            else:
+                emb, state = np.array(entry[0], copy=True), np.array(
+                    entry[1], copy=True
+                )
+                version = shard.versions[key]
+        if version is None:
+            self._account_miss()
+            return None
+        self._account(shard, emb.nbytes + state.nbytes, sent=True)
+        return emb, state, version
 
     def get(
         self, entity_type: str, part: int
     ) -> "tuple[np.ndarray, np.ndarray] | None":
         """Fetch a partition copy; None if never stored."""
+        entry = self.get_versioned(entity_type, part)
+        if entry is None:
+            return None
+        return entry[0], entry[1]
+
+    def version(self, entity_type: str, part: int) -> int:
+        """Current version of a partition; 0 if never stored."""
         shard = self._shard(part)
         with shard.lock:
-            entry = shard.store.get((entity_type, part))
-            if entry is None:
-                return None
-            emb, state = np.array(entry[0], copy=True), np.array(
-                entry[1], copy=True
-            )
-        self._account(emb.nbytes + state.nbytes, sent=True)
-        return emb, state
+            return shard.versions.get((entity_type, part), 0)
 
     def has(self, entity_type: str, part: int) -> bool:
         shard = self._shard(part)
@@ -142,3 +211,70 @@ class PartitionServer:
                     )
                 )
         return sizes
+
+
+class PartitionServerStorage:
+    """Adapts a :class:`PartitionServer` (or its manager proxy) to the
+    ``load``/``save`` interface of
+    :class:`~repro.graph.storage.PartitionedEmbeddingStorage`, so the
+    pipelined trainer's :class:`~repro.graph.storage.PartitionPipeline`
+    (prefetch cache + writeback queue) works over the network path
+    unchanged.
+
+    The adapter remembers the version of every partition it loaded or
+    saved; :meth:`is_current` then tells the pipeline whether a staged
+    copy still matches the server (another machine may have pushed an
+    update between our prefetch and our lock acquisition). It also
+    accumulates ``io_seconds`` — total wall time spent inside server
+    transfers across all threads — from which the trainer derives how
+    much transfer time was overlapped with compute.
+    """
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self._lock = threading.Lock()
+        self._versions: "dict[tuple[str, int], int]" = {}
+        self.loads = 0
+        self.saves = 0
+        self.io_seconds = 0.0
+
+    def load(
+        self, entity_type: str, part: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        t0 = time.perf_counter()
+        entry = self.server.get_versioned(entity_type, part)
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            self.io_seconds += elapsed
+            if entry is not None:
+                self.loads += 1
+                self._versions[(entity_type, part)] = entry[2]
+        if entry is None:
+            raise StorageError(
+                f"partition server has no ({entity_type!r}, {part})"
+            )
+        return entry[0], entry[1]
+
+    def save(
+        self,
+        entity_type: str,
+        part: int,
+        embeddings: np.ndarray,
+        optim_state: np.ndarray,
+    ) -> None:
+        t0 = time.perf_counter()
+        version = self.server.put(entity_type, part, embeddings, optim_state)
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            self.io_seconds += elapsed
+            self.saves += 1
+            self._versions[(entity_type, part)] = version
+
+    def is_current(self, entity_type: str, part: int) -> bool:
+        """Whether the last version this adapter observed for the
+        partition is still the server's latest."""
+        with self._lock:
+            seen = self._versions.get((entity_type, part))
+        if seen is None:
+            return False
+        return seen == self.server.version(entity_type, part)

@@ -18,6 +18,13 @@ latency-hiding trick of Section 4.1) this module also provides:
   arrays sitting in front of a :class:`PartitionedEmbeddingStorage`,
   with dirty/clean tracking. Partitions shared by consecutive buckets
   are served from memory instead of being re-read from disk.
+- :class:`PartitionPipeline` — the bundle of the two plus a prefetch
+  thread, behind one small API (``settle`` / ``park`` / ``take`` /
+  ``schedule`` / ``drain``). The single-machine trainer backs it with
+  disk storage; the distributed trainer backs it with a partition-server
+  adapter (:class:`~repro.distributed.partition_server.PartitionServerStorage`),
+  so the same flush-before-reuse and drain-barrier invariants govern
+  both the disk and the network path.
 """
 
 from __future__ import annotations
@@ -28,8 +35,10 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -39,6 +48,7 @@ __all__ = [
     "StorageError",
     "WritebackQueue",
     "PartitionCache",
+    "PartitionPipeline",
 ]
 
 
@@ -292,6 +302,10 @@ class _CacheEntry:
     embeddings: np.ndarray
     optim_state: np.ndarray
     dirty: bool
+    #: invoked once the entry's dirty bytes have durably landed in the
+    #: backing store (async write, budget eviction, or flush); the
+    #: distributed trainer uses it to commit partition locks.
+    on_flushed: "Callable[[], None] | None" = None
 
     @property
     def nbytes(self) -> int:
@@ -357,21 +371,39 @@ class PartitionCache:
         embeddings: np.ndarray,
         optim_state: np.ndarray,
         dirty: bool,
+        on_flushed: "Callable[[], None] | None" = None,
     ) -> None:
         """Insert a partition as most-recently-used.
 
         Dirty inserts are immediately submitted to the writeback queue
         (when configured) so the disk copy starts catching up while the
-        arrays stay available for reuse.
+        arrays stay available for reuse. ``on_flushed`` (dirty inserts
+        only) fires exactly once when the entry's bytes have landed in
+        the backing store — whether by background write, budget
+        eviction, or :meth:`flush_dirty`; callers must not re-insert a
+        key whose previous entry is still cached dirty, or the old
+        callback may fire for superseded bytes.
         """
         key = (entity_type, part)
-        entry = _CacheEntry(embeddings, optim_state, dirty)
+        entry = _CacheEntry(
+            embeddings, optim_state, dirty, on_flushed if dirty else None
+        )
         with self._lock:
             self._entries.pop(key, None)
             self._entries[key] = entry
         if dirty and self.writeback is not None:
             self._submit_writeback(key, entry)
         self._shrink_to_budget()
+
+    def _landed(self, key: "tuple[str, int]", entry: _CacheEntry) -> None:
+        """An entry's bytes reached the backing store: flip it clean (if
+        still cached) and fire its flush callback outside the lock."""
+        with self._lock:
+            if self._entries.get(key) is entry:
+                entry.dirty = False
+            callback, entry.on_flushed = entry.on_flushed, None
+        if callback is not None:
+            callback()
 
     def _submit_writeback(
         self, key: "tuple[str, int]", entry: _CacheEntry
@@ -380,13 +412,9 @@ class PartitionCache:
         (only if it is still the cached object for its key — a newer
         insert supersedes it and carries its own write)."""
 
-        def mark_clean(self=self, key=key, entry=entry):
-            with self._lock:
-                if self._entries.get(key) is entry:
-                    entry.dirty = False
-
         self.writeback.submit(
-            key[0], key[1], entry.embeddings, entry.optim_state, mark_clean
+            key[0], key[1], entry.embeddings, entry.optim_state,
+            lambda: self._landed(key, entry),
         )
 
     def take(
@@ -456,8 +484,7 @@ class PartitionCache:
                 self.storage.save(
                     key[0], key[1], entry.embeddings, entry.optim_state
                 )
-                with self._lock:
-                    entry.dirty = False
+                self._landed(key, entry)
 
     # ------------------------------------------------------------------
 
@@ -468,6 +495,7 @@ class PartitionCache:
             return
         while True:
             wait_key = None
+            saved = None
             with self._lock:
                 total = sum(e.nbytes for e in self._entries.values())
                 if total <= self.budget_bytes or not self._entries:
@@ -483,15 +511,168 @@ class PartitionCache:
                             key[0], key[1],
                             entry.embeddings, entry.optim_state,
                         )
-                        entry.dirty = False
-                        continue
+                        saved = (key, entry)
                 else:
                     del self._entries[key]
                     self.evictions += 1
                     continue
+            if saved is not None:
+                # Flip clean + fire on_flushed outside the lock, then
+                # re-evaluate (the entry is now droppable).
+                self._landed(*saved)
+                continue
             # Dirty with a write in flight: wait outside the lock, then
             # re-evaluate (the entry will be clean and droppable).
             self.writeback.wait(wait_key[0], wait_key[1])
+
+
+class PartitionPipeline:
+    """Prefetch + LRU cache + background writeback, as one subsystem.
+
+    This bundles the three pieces of pipelined partition handling — a
+    :class:`WritebackQueue`, a :class:`PartitionCache` in front of it,
+    and a single-threaded prefetch pool — behind the small API both
+    trainers share:
+
+    - :meth:`settle` — wait for in-flight prefetch loads so cache state
+      is final before the caller mutates resident tables;
+    - :meth:`park` — hand an evicted partition to the cache *dirty*;
+      its write starts immediately in the background (``on_flushed``
+      fires once the bytes land — the distributed trainer commits the
+      partition's lock-server deferral from it);
+    - :meth:`take` — pop a partition for training (flush-before-reuse:
+      blocks while a write of those arrays is in flight), falling back
+      to a synchronous backend read;
+    - :meth:`schedule` — queue background loads of upcoming partitions;
+    - :meth:`drain` — flush dirty entries and drain the queue (the
+      checkpoint / epoch-end barrier).
+
+    ``storage`` is any object with the
+    :class:`PartitionedEmbeddingStorage` ``load``/``save`` interface:
+    the single-machine trainer passes disk storage, the distributed
+    trainer passes a partition-server adapter. ``validate``, when
+    given, is called as ``validate(entity_type, part)`` on every cache
+    hit; returning False means the cached copy is stale (another
+    machine updated the backend since it was staged) and a fresh
+    synchronous read is performed instead — ``stale_hits`` counts
+    those.
+    """
+
+    def __init__(
+        self,
+        storage,
+        budget_bytes: int | None = None,
+        validate: "Callable[[str, int], bool] | None" = None,
+    ) -> None:
+        self.storage = storage
+        self.budget_bytes = budget_bytes
+        self.validate = validate
+        self.writeback = WritebackQueue(storage)
+        self.cache = PartitionCache(
+            storage, budget_bytes=budget_bytes, writeback=self.writeback
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="partition-prefetch"
+        )
+        self._futures: "dict[tuple[str, int], object]" = {}
+        #: cache hits invalidated because the backend had newer bytes
+        self.stale_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def settle(self) -> float:
+        """Wait for in-flight prefetch loads (surfacing their errors);
+        returns the seconds spent blocked."""
+        if not self._futures:
+            return 0.0
+        t0 = time.perf_counter()
+        for fut in self._futures.values():
+            fut.result()
+        self._futures = {}
+        return time.perf_counter() - t0
+
+    def park(
+        self,
+        entity_type: str,
+        part: int,
+        embeddings: np.ndarray,
+        optim_state: np.ndarray,
+        on_flushed: "Callable[[], None] | None" = None,
+    ) -> None:
+        """Park an evicted partition dirty; its background write starts
+        immediately and ``on_flushed`` fires once it lands."""
+        self.cache.put(
+            entity_type, part, embeddings, optim_state,
+            dirty=True, on_flushed=on_flushed,
+        )
+
+    def take(
+        self, entity_type: str, part: int
+    ) -> "tuple[tuple[np.ndarray, np.ndarray] | None, bool]":
+        """Pop a partition for training.
+
+        Returns ``(arrays, served_from_cache)``; arrays is None when
+        the partition exists neither in the cache nor the backend (the
+        caller initialises it). A stale cache hit (see ``validate``)
+        counts in ``stale_hits`` and falls back to a backend read.
+        """
+        if self.cache.contains(entity_type, part):
+            got = self.cache.take(entity_type, part)
+            if got is not None:
+                if self.validate is None or self.validate(entity_type, part):
+                    return got, True
+                self.stale_hits += 1
+        try:
+            return self.storage.load(entity_type, part), False
+        except StorageError:
+            return None, False
+
+    def schedule(self, keys) -> int:
+        """Queue background loads for ``keys`` (``(entity_type, part)``
+        pairs) that are not already cached or in flight; returns the
+        number scheduled. No-op at budget 0, where a staged entry would
+        be dropped before it could be taken — prefetching would only
+        double the reads."""
+        if self.budget_bytes == 0:
+            return 0
+        scheduled = 0
+        for key in keys:
+            key = (key[0], key[1])
+            if key in self._futures or self.cache.contains(*key):
+                continue
+            self._futures[key] = self._pool.submit(self._prefetch_one, key)
+            scheduled += 1
+        return scheduled
+
+    def _prefetch_one(self, key: "tuple[str, int]") -> None:
+        """Prefetch-thread body: one partition, backend → cache, clean.
+
+        Never touches the model or any RNG; a partition the backend
+        does not have is simply skipped (the main thread initialises
+        it)."""
+        try:
+            embeddings, optim_state = self.storage.load(*key)
+        except StorageError:
+            return
+        self.cache.put(key[0], key[1], embeddings, optim_state, dirty=False)
+
+    def drain(self) -> float:
+        """Flush every dirty cache entry and drain the writeback queue
+        (the checkpoint / epoch-end barrier); returns seconds blocked."""
+        t0 = time.perf_counter()
+        self.cache.flush_dirty()
+        self.writeback.drain()
+        return time.perf_counter() - t0
+
+    def close(self) -> None:
+        """Drain outstanding writes and stop both worker threads."""
+        for fut in self._futures.values():
+            fut.cancel()
+        self._futures = {}
+        try:
+            self._pool.shutdown(wait=True)
+        finally:
+            self.writeback.close()
 
 
 class CheckpointStorage:

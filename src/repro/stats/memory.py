@@ -156,6 +156,18 @@ class MemoryModel:
             total += (2 + hosted) * per_part
         return total
 
+    def distributed_pipelined_peak_bytes_per_machine(self) -> int:
+        """Peak per machine for *pipelined* distributed training: the
+        serial distributed peak plus the per-machine staging cache the
+        prefetch pipeline is allowed to retain (reserved-bucket
+        partitions pulled early, evicted partitions awaiting their
+        asynchronous push-back). The same ``partition_cache_budget``
+        dial as the single-machine pipeline, paid once per machine."""
+        return (
+            self.distributed_peak_bytes_per_machine()
+            + self.partition_cache_peak_bytes()
+        )
+
 
 def measure_peak_tracemalloc(fn, *args, **kwargs):
     """Run ``fn`` under tracemalloc; returns (result, peak_bytes).

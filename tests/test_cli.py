@@ -153,3 +153,31 @@ class TestTrainEvalExport:
         ])
         assert rc == 0
         assert "done:" in capsys.readouterr().out
+
+    def test_distributed_training_via_cli(self, workspace, capsys):
+        """num_machines > 1 routes to the cluster trainer; the pipeline
+        flags apply to the partition-server prefetch path."""
+        tmp_path, config_path, train_path, test_path = workspace
+        config = ConfigSchema.from_json(config_path.read_text()).replace(
+            entities={"node": EntitySchema(num_partitions=4)},
+            num_machines=2,
+            num_epochs=2,
+        )
+        p2 = tmp_path / "config_dist.json"
+        p2.write_text(config.to_json())
+        rc = main([
+            "train", "--config", str(p2), "--edges", str(train_path),
+            "--pipeline",
+            "--checkpoint", str(tmp_path / "dmodel"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 machines" in out
+        assert "reservation accuracy" in out
+        assert "checkpoint written" in out
+        # The checkpoint is evaluable like any single-machine one.
+        rc = main([
+            "eval", "--checkpoint", str(tmp_path / "dmodel"),
+            "--edges", str(test_path), "--candidates", "20",
+        ])
+        assert rc == 0

@@ -160,6 +160,105 @@ class TestThreadMode:
         assert "table_cat" in trainer.parameter_server.names()
 
 
+class TestPipelinedDistributed:
+    """Pipelined (prefetch + async push-back) distributed training."""
+
+    def test_single_machine_bit_identical_to_serial(self):
+        """On a 4-partition grid the pipelined run must reproduce the
+        serial distributed path exactly under a fixed seed: prefetching
+        only moves transfers off the critical path and first-touch
+        initialisation stays on the owning machine."""
+        edges = _graph()
+        models = {}
+        for pipelined in (False, True):
+            config, entities = _setup(1, 4, pipeline=pipelined)
+            trainer = DistributedTrainer(config, entities)
+            models[pipelined], _ = trainer.train(edges)
+        np.testing.assert_array_equal(
+            models[False].global_embeddings("node"),
+            models[True].global_embeddings("node"),
+        )
+        for p in range(4):
+            np.testing.assert_array_equal(
+                models[False].get_table("node", p).optimizer.state,
+                models[True].get_table("node", p).optimizer.state,
+            )
+
+    def test_single_machine_prefetch_and_reservation_stats(self):
+        config, entities = _setup(1, 4, pipeline=True)
+        trainer = DistributedTrainer(config, entities)
+        _, stats = trainer.train(_graph())
+        m = stats.machines[0]
+        # Uncontended reservations are always right.
+        assert m.reservations > 0
+        assert m.reservation_hits == m.reservations
+        assert stats.reservation_accuracy == 1.0
+        # Epoch-0 first touches are the only misses; everything later
+        # is staged (prefetched or retained) in the partition cache.
+        assert m.prefetch_misses == 4
+        assert m.prefetch_hits > 0
+        assert m.stale_prefetches == 0
+        # The lock server saw the same prediction accuracy.
+        ls = trainer.lock_server.stats
+        assert ls.reservation_misses == 0
+        assert ls.reservation_hits == ls.reservations
+
+    def test_two_machines_train_and_server_complete(self):
+        """Under contention reservations may lose (stolen buckets) and
+        staged copies may go stale — both must degrade to misses, never
+        to wrong data, and every partition must land on the server."""
+        config, entities = _setup(2, 4, num_epochs=3, pipeline=True)
+        trainer = DistributedTrainer(config, entities)
+        model, stats = trainer.train(_graph())
+        assert sum(m.buckets_trained for m in stats.machines) == 3 * 16
+        assert trainer.partition_server.keys() == [
+            ("node", p) for p in range(4)
+        ]
+        assert np.isfinite(model.global_embeddings("node")).all()
+        total_swapins = sum(
+            m.prefetch_hits + m.prefetch_misses for m in stats.machines
+        )
+        assert total_swapins > 0
+        assert 0.0 <= stats.prefetch_hit_rate <= 1.0
+        assert 0.0 <= stats.reservation_accuracy <= 1.0
+
+    def test_two_machines_pipelined_quality_aligned(self):
+        """Async push-back must not desynchronise the embedding space:
+        deferred release keeps a partition unavailable until its push
+        lands, so quality stays close to the serial distributed path."""
+        edges = _graph()
+        mrrs = {}
+        for pipelined in (False, True):
+            config, entities = _setup(
+                2, 4, num_epochs=6, seed=1, pipeline=pipelined
+            )
+            trainer = DistributedTrainer(config, entities)
+            model, _ = trainer.train(edges)
+            ev = LinkPredictionEvaluator(model)
+            mrrs[pipelined] = ev.evaluate(
+                edges[:600], num_candidates=100,
+                rng=np.random.default_rng(0),
+            ).mrr
+        assert mrrs[True] > 0.6 * mrrs[False]
+
+    def test_cache_budget_zero_still_correct(self):
+        """budget=0 disables staging (and prefetch) but the deferred
+        release / drain-barrier protocol must still hold."""
+        edges = _graph()
+        config, entities = _setup(1, 4, pipeline=True)
+        serial_model, _ = DistributedTrainer(config, entities).train(edges)
+        config0, entities0 = _setup(
+            1, 4, pipeline=True, partition_cache_budget=0
+        )
+        trainer = DistributedTrainer(config0, entities0)
+        model, stats = trainer.train(edges)
+        np.testing.assert_array_equal(
+            serial_model.global_embeddings("node"),
+            model.global_embeddings("node"),
+        )
+        assert stats.machines[0].prefetch_hits == 0
+
+
 @pytest.mark.slow
 class TestProcessMode:
     def test_process_mode_trains_and_matches_quality(self):
@@ -179,3 +278,15 @@ class TestProcessMode:
         config, entities = _setup(1, 2)
         with pytest.raises(ValueError, match="unknown mode"):
             DistributedTrainer(config, entities, mode="rpc")
+
+    def test_process_mode_pipelined_trains(self):
+        """The pipeline's prefetch/writeback threads talk to the
+        servers through manager proxies in process mode."""
+        config, entities = _setup(2, 4, num_epochs=2, pipeline=True)
+        trainer = DistributedTrainer(config, entities, mode="process")
+        model, stats = trainer.train(_graph())
+        assert sum(m.buckets_trained for m in stats.machines) == 2 * 16
+        assert np.isfinite(model.global_embeddings("node")).all()
+        assert sum(
+            m.prefetch_hits + m.prefetch_misses for m in stats.machines
+        ) > 0

@@ -163,7 +163,140 @@ class TestEpochs:
         b = ls.acquire(0)
         ls.release(0, b)
         assert ls.stats.acquires == 1
+        # epochs counts *completed* epoch resets: 0 while the first
+        # epoch is still in progress (regression: the constructor used
+        # to count itself as an epoch).
+        assert ls.stats.epochs == 0
+        while (b := ls.acquire(0)) is not None:
+            ls.release(0, b)
+        ls.new_epoch()
         assert ls.stats.epochs == 1
+
+    def test_affinity_state_explicit_after_init(self):
+        """The scheduler's affinity state exists from construction
+        (regression: it used to be hasattr-lazily created mid-lock)."""
+        ls = LockServer(2, 2)
+        assert ls._prev == {}
+        b = ls.acquire(0)
+        ls.release(0, b)
+        assert ls._prev == {0: b}
+
+
+class TestReservation:
+    def test_reserve_predicts_next_acquire_single_machine(self):
+        """With no contention the reservation is always correct."""
+        ls = _warmed(4)
+        b0 = ls.acquire(0)
+        r = ls.reserve(0)
+        assert r is not None
+        ls.release(0, b0)
+        assert ls.acquire(0) == r
+        assert ls.stats.reservation_hits == 1
+        assert ls.stats.reservation_misses == 0
+
+    def test_reserve_is_advisory(self):
+        """reserve() must not change any scheduling state."""
+        ls = _warmed(4)
+        before = ls.remaining_count()
+        r = ls.reserve(0)
+        assert r is not None
+        assert ls.remaining_count() == before
+        # The predicted bucket is still grantable to anyone.
+        assert ls.acquire(1) is not None
+
+    def test_reserve_before_first_acquire(self):
+        ls = LockServer(4, 4)
+        r = ls.reserve(0)
+        assert r == ls.acquire(0)
+        assert ls.stats.reservation_hits == 1
+
+    def test_reserved_then_stolen_counts_miss(self):
+        """A reservation that loses to another machine's acquire falls
+        back gracefully and counts a miss."""
+        ls = _warmed(4)
+        b0 = ls.acquire(0)
+        ls.release(0, b0)
+        r = ls.reserve(0)
+        assert r is not None
+        # Machine 1 churns until it happens to hold the reserved bucket.
+        while (b := ls.acquire(1)) is not None and b != r:
+            ls.release(1, b)
+        assert b == r  # stolen
+        granted = ls.acquire(0)
+        assert granted is not None and granted != r
+        assert ls.stats.reservation_misses == 1
+        assert ls.stats.reservation_hits == 0
+
+    def test_reservation_under_full_occupancy(self):
+        """At P/2 occupancy a machine's reservation can only use the
+        partitions it would itself free."""
+        p = 8
+        ls = _warmed(p)
+        held = {}
+        for m in range(p // 2):
+            held[m] = ls.acquire(m)
+            assert held[m] is not None
+        used = {q for b in held.values() for q in (b.lhs, b.rhs)}
+        if len(used) == p:  # grid fully occupied
+            for m, b in held.items():
+                r = ls.reserve(m)
+                if r is not None:
+                    assert {r.lhs, r.rhs} <= {b.lhs, b.rhs}
+            # Reservations changed nothing: a fifth machine still starves.
+            assert ls.acquire(99) is None
+
+    def test_reserve_returns_none_when_grid_drained(self):
+        ls = LockServer(2, 2)
+        while (b := ls.acquire(0)) is not None:
+            ls.release(0, b)
+        assert ls.reserve(0) is None
+
+
+class TestDeferredRelease:
+    def test_deferred_partitions_blocked_for_others(self):
+        """After release(defer=True) the partitions stay unavailable to
+        other machines until committed (their fetch would observe the
+        pre-push bytes on the partition server)."""
+        ls = _warmed(2)
+        b = ls.acquire(0)
+        ls.release(0, b, defer=True)
+        # Every bucket of a 2x2 grid touches partition 0 or 1.
+        assert ls.acquire(1) is None
+        ls.commit_partition(0, b.lhs)
+        ls.commit_partition(0, b.rhs)
+        assert ls.acquire(1) is not None
+
+    def test_deferred_partitions_reacquirable_by_owner(self):
+        """The releasing machine holds the freshest copy resident, so
+        its own next acquire may reclaim deferred partitions."""
+        ls = _warmed(2)
+        b = ls.acquire(0)
+        ls.release(0, b, defer=True)
+        b2 = ls.acquire(0)
+        assert b2 is not None
+        # Reclaiming cleared the deferral: a late commit is a no-op and
+        # must not unlock the partitions now held by machine 0.
+        ls.commit_partition(0, b2.lhs)
+        ls.commit_partition(0, b2.rhs)
+        assert ls.acquire(1) is None  # still locked by machine 0
+        ls.release(0, b2)
+
+    def test_commit_wrong_machine_is_noop(self):
+        ls = _warmed(2)
+        b = ls.acquire(0)
+        ls.release(0, b, defer=True)
+        ls.commit_partition(1, b.lhs)  # not machine 1's deferral
+        assert ls.acquire(1) is None
+
+    def test_new_epoch_with_uncommitted_deferrals_fails(self):
+        ls = LockServer(2, 2)
+        buckets = []
+        while (b := ls.acquire(0)) is not None:
+            buckets.append(b)
+            # Defer the final release and never commit it.
+            ls.release(0, b, defer=len(buckets) == 4)
+        with pytest.raises(RuntimeError, match="deferred"):
+            ls.new_epoch()
 
 
 class TestConcurrency:

@@ -1,11 +1,16 @@
 """Tests for the sharded partition server."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.distributed.partition_server import PartitionServer
+from repro.distributed.partition_server import (
+    PartitionServer,
+    PartitionServerStorage,
+)
+from repro.graph.storage import StorageError
 
 
 def _arrays(seed=0, n=10, d=4):
@@ -118,3 +123,107 @@ class TestPartitionServer:
         ps.put("node", 0, emb2, state)
         got, _ = ps.get("node", 0)
         np.testing.assert_array_equal(got, emb2)
+
+    def test_miss_counts_as_get(self):
+        """A fetch that returns None is still a request the server
+        served — gets and misses must both count it."""
+        ps = PartitionServer(1)
+        assert ps.get("node", 0) is None
+        ps.put("node", 0, *_arrays())
+        ps.get("node", 0)
+        assert ps.stats.gets == 2
+        assert ps.stats.misses == 1
+
+
+class TestVersioning:
+    def test_put_bumps_version(self):
+        ps = PartitionServer(2)
+        assert ps.version("node", 1) == 0
+        assert ps.put("node", 1, *_arrays()) == 1
+        assert ps.put("node", 1, *_arrays(1)) == 2
+        assert ps.version("node", 1) == 2
+
+    def test_get_versioned(self):
+        ps = PartitionServer(1)
+        assert ps.get_versioned("node", 0) is None
+        emb, state = _arrays()
+        ps.put("node", 0, emb, state)
+        got_emb, got_state, version = ps.get_versioned("node", 0)
+        np.testing.assert_array_equal(got_emb, emb)
+        assert version == 1
+
+    def test_versions_independent_per_key(self):
+        ps = PartitionServer(2)
+        ps.put("a", 0, *_arrays(n=2))
+        ps.put("a", 0, *_arrays(n=2))
+        ps.put("b", 0, *_arrays(n=2))
+        assert ps.version("a", 0) == 2
+        assert ps.version("b", 0) == 1
+
+
+class TestBandwidthContention:
+    def test_concurrent_transfers_share_the_nic(self):
+        """Two simultaneous fetches against one shard must queue behind
+        each other — the modeled NIC is shared, not per-transfer."""
+        emb, state = _arrays(n=1000, d=25)  # 100KB + state
+        nbytes = emb.nbytes + state.nbytes
+        per_transfer = 0.1
+        ps = PartitionServer(1, bandwidth_bytes_per_s=nbytes / per_transfer)
+        ps.bandwidth = None  # free put
+        ps.put("node", 0, emb, state)
+        ps.bandwidth = nbytes / per_transfer
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=ps.get, args=("node", 0))
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        assert elapsed >= 1.7 * per_transfer
+        assert ps.stats.simulated_queue_seconds > 0
+
+    def test_transfer_seconds_remain_pure_bandwidth_cost(self):
+        ps = PartitionServer(1, bandwidth_bytes_per_s=1e9)
+        ps.put("node", 0, *_arrays(n=100))
+        assert ps.stats.simulated_transfer_seconds > 0
+
+
+class TestPartitionServerStorage:
+    def test_roundtrip_and_missing(self):
+        store = PartitionServerStorage(PartitionServer(2))
+        emb, state = _arrays()
+        store.save("node", 1, emb, state)
+        got_emb, got_state = store.load("node", 1)
+        np.testing.assert_array_equal(got_emb, emb)
+        np.testing.assert_array_equal(got_state, state)
+        with pytest.raises(StorageError, match="has no"):
+            store.load("node", 0)
+
+    def test_is_current_tracks_foreign_puts(self):
+        """A staged copy goes stale the moment another machine pushes a
+        newer version of the partition."""
+        server = PartitionServer(1)
+        mine = PartitionServerStorage(server)
+        theirs = PartitionServerStorage(server)
+        mine.save("node", 0, *_arrays(1))
+        assert mine.is_current("node", 0)
+        theirs.save("node", 0, *_arrays(2))
+        assert not mine.is_current("node", 0)
+        assert theirs.is_current("node", 0)
+        mine.load("node", 0)  # re-fetch refreshes the observed version
+        assert mine.is_current("node", 0)
+
+    def test_is_current_false_when_never_observed(self):
+        store = PartitionServerStorage(PartitionServer(1))
+        assert not store.is_current("node", 0)
+
+    def test_io_accounting(self):
+        store = PartitionServerStorage(PartitionServer(1))
+        store.save("node", 0, *_arrays())
+        store.load("node", 0)
+        assert store.saves == 1 and store.loads == 1
+        assert store.io_seconds > 0

@@ -22,6 +22,7 @@ from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import partition_entities
 from repro.graph.storage import (
     PartitionCache,
+    PartitionPipeline,
     PartitionedEmbeddingStorage,
     StorageError,
     WritebackQueue,
@@ -282,6 +283,95 @@ class TestWritebackDurability:
         assert got is not None
         assert store.completed_saves == 1
         wb.close()
+
+
+def _part(seed=0, n=8, d=4):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((n, d)).astype(np.float32),
+        rng.random(n).astype(np.float32),
+    )
+
+
+class TestPartitionPipeline:
+    """Unit tests for the bundled prefetch/cache/writeback subsystem
+    shared by the single-machine and distributed trainers."""
+
+    def test_park_take_roundtrip(self, tmp_path):
+        pipe = PartitionPipeline(PartitionedEmbeddingStorage(tmp_path))
+        w, s = _part()
+        pipe.park("node", 0, w, s)
+        got, from_cache = pipe.take("node", 0)
+        assert from_cache
+        np.testing.assert_array_equal(got[0], w)
+        pipe.close()
+
+    def test_take_missing_returns_none(self, tmp_path):
+        pipe = PartitionPipeline(PartitionedEmbeddingStorage(tmp_path))
+        got, from_cache = pipe.take("node", 7)
+        assert got is None and not from_cache
+        pipe.close()
+
+    def test_schedule_prefetch_hits_cache(self, tmp_path):
+        storage = PartitionedEmbeddingStorage(tmp_path)
+        storage.save("node", 0, *_part())
+        pipe = PartitionPipeline(storage)
+        assert pipe.schedule([("node", 0), ("node", 1)]) == 2
+        pipe.settle()
+        assert pipe.cache.contains("node", 0)
+        assert not pipe.cache.contains("node", 1)  # nothing stored
+        _, from_cache = pipe.take("node", 0)
+        assert from_cache
+        pipe.close()
+
+    def test_schedule_noop_at_zero_budget(self, tmp_path):
+        storage = PartitionedEmbeddingStorage(tmp_path)
+        storage.save("node", 0, *_part())
+        pipe = PartitionPipeline(storage, budget_bytes=0)
+        assert pipe.schedule([("node", 0)]) == 0
+        pipe.close()
+
+    def test_stale_hit_falls_back_to_backend(self, tmp_path):
+        """A cache hit the validator rejects must be discarded and
+        re-read from the backend (the distributed staleness path)."""
+        storage = PartitionedEmbeddingStorage(tmp_path)
+        fresh_w, fresh_s = _part(seed=9)
+        storage.save("node", 0, fresh_w, fresh_s)
+        pipe = PartitionPipeline(
+            storage, validate=lambda et, p: False
+        )
+        stale_w, stale_s = _part(seed=1)
+        pipe.cache.put("node", 0, stale_w, stale_s, dirty=False)
+        got, from_cache = pipe.take("node", 0)
+        assert not from_cache
+        assert pipe.stale_hits == 1
+        np.testing.assert_array_equal(got[0], fresh_w)
+        pipe.close()
+
+    def test_on_flushed_fires_once_after_land(self, tmp_path):
+        pipe = PartitionPipeline(PartitionedEmbeddingStorage(tmp_path))
+        events = []
+        w, s = _part()
+        pipe.park("node", 0, w, s, on_flushed=lambda: events.append(0))
+        pipe.drain()
+        pipe.cache.flush_dirty()  # entry already clean; must not re-fire
+        pipe.drain()
+        assert events == [0]
+        pipe.close()
+
+    def test_on_flushed_fires_on_budget_eviction(self, tmp_path):
+        """Synchronous budget evictions must also report the land —
+        the distributed lock deferral relies on it."""
+        storage = PartitionedEmbeddingStorage(tmp_path)
+        events = []
+        cache = PartitionCache(storage, budget_bytes=0)
+        w, s = _part()
+        cache.put(
+            "node", 0, w, s, dirty=True,
+            on_flushed=lambda: events.append(0),
+        )
+        assert events == [0]
+        assert storage.exists("node", 0)
 
 
 class TestMemoryModel:

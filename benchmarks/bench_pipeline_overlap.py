@@ -1,4 +1,4 @@
-"""Serial vs pipelined bucket training: I/O / compute overlap.
+"""Serial vs pipelined vs compressed bucket training.
 
 The paper's single-machine trainer hides partition swap latency by
 overlapping bucket I/O with training (Section 4.1). This benchmark
@@ -6,7 +6,9 @@ measures that overlap directly on a synthetic 4-partition graph with a
 simulated-latency partition store (the same device-model trick as the
 partition server's bandwidth knob): per-partition load/save delay makes
 swap cost visible at laptop scale, where a real spinning disk or
-network filesystem would provide it for free.
+network filesystem would provide it for free. A third mode stores swap
+files through the ``int8`` partition codec, shrinking on-disk partition
+bytes ~4x at a bounded quantisation cost.
 
 Reported per mode:
 
@@ -14,11 +16,17 @@ Reported per mode:
 - train    — time inside the HOGWILD workers
 - io       — swap time on the critical path (serial: all loads+saves;
              pipelined: only prefetch misses, residual waits, barriers)
+- disk MB  — bytes of partition files left on the swap store
 - overlap  — 1 - wall_pipelined / wall_serial
 
 Serial wall-clock is ~train + io (additive); pipelined should hide
-most of io behind train, targeting >= 25% wall reduction here. Both
-runs use the same seed and must produce bit-identical embeddings.
+most of io behind train, targeting >= 25% wall reduction here. Serial
+and pipelined runs use the same seed and must produce bit-identical
+embeddings; the int8 run must shrink swap files below half the fp32
+size and keep mean per-row cosine drift vs the exact run >= 0.8.
+
+A machine-readable summary is written to ``BENCH_pipeline.json``
+(``--json PATH`` to redirect) for CI artifact upload.
 
 Usage::
 
@@ -28,6 +36,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 import time
@@ -55,8 +64,8 @@ NPARTS = 4
 class DelayedStorage(PartitionedEmbeddingStorage):
     """Partition store with simulated per-operation device latency."""
 
-    def __init__(self, root, delay: float) -> None:
-        super().__init__(root)
+    def __init__(self, root, delay: float, codec: str = "none") -> None:
+        super().__init__(root, codec=codec)
         self.delay = delay
 
     def load(self, entity_type, part):
@@ -76,7 +85,7 @@ def synthetic_graph(num_nodes: int, num_edges: int, seed: int = 0):
     return EdgeList(src, rel, dst)
 
 
-def run_mode(pipeline: bool, edges: EdgeList, num_nodes: int,
+def run_mode(pipeline: bool, codec: str, edges: EdgeList, num_nodes: int,
              num_epochs: int, delay: float, seed: int = 0):
     config = single_entity_config(
         num_partitions=NPARTS,
@@ -86,6 +95,7 @@ def run_mode(pipeline: bool, edges: EdgeList, num_nodes: int,
         chunk_size=100,
         seed=seed,
         pipeline=pipeline,
+        partition_compression=codec,
     )
     entities = EntityStorage({"node": num_nodes})
     entities.set_partitioning(
@@ -94,19 +104,36 @@ def run_mode(pipeline: bool, edges: EdgeList, num_nodes: int,
     )
     model = EmbeddingModel(config, entities, np.random.default_rng(seed))
     with tempfile.TemporaryDirectory() as tmp:
-        storage = DelayedStorage(tmp, delay)
+        storage = DelayedStorage(tmp, delay, codec=codec)
         trainer = Trainer(
             config, model, entities, storage, np.random.default_rng(seed)
         )
         t0 = time.perf_counter()
         stats = trainer.train(edges)
         wall = time.perf_counter() - t0
+        # Flush every resident partition so the swap store holds the
+        # full model — that makes disk-size comparisons across codecs
+        # apples-to-apples — then measure it before the tempdir goes.
         for p in range(NPARTS):
-            if not model.has_table("node", p):
+            if model.has_table("node", p):
+                table = model.get_table("node", p)
+                storage.save(
+                    "node", p, table.weights, table.optimizer.state
+                )
+            else:
                 w, s = storage.load("node", p)
                 model.set_table("node", p, DenseEmbeddingTable(w, s))
+        disk_nbytes = storage.nbytes()
         embeddings = model.global_embeddings("node")
-    return wall, stats, embeddings
+    return wall, stats, embeddings, disk_nbytes
+
+
+def mean_row_cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean per-row cosine similarity between two embedding matrices."""
+    num = (a * b).sum(axis=1)
+    den = np.linalg.norm(a, axis=1) * np.linalg.norm(b, axis=1)
+    den = np.where(den == 0, 1.0, den)
+    return float(np.mean(num / den))
 
 
 def main(argv=None) -> int:
@@ -119,6 +146,10 @@ def main(argv=None) -> int:
     parser.add_argument("--edges", type=int, default=60_000)
     parser.add_argument("--nodes", type=int, default=2_000)
     parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--json", metavar="PATH",
+                        default="BENCH_pipeline.json",
+                        help="machine-readable results file "
+                             "(default BENCH_pipeline.json)")
     args = parser.parse_args(argv)
     if args.quick:
         args.edges, args.nodes, args.epochs = 8_000, 500, 2
@@ -127,47 +158,106 @@ def main(argv=None) -> int:
     edges = synthetic_graph(args.nodes, args.edges)
     rows = []
     results = {}
-    for name, pipeline in [("serial", False), ("pipelined", True)]:
-        wall, stats, emb = run_mode(
-            pipeline, edges, args.nodes, args.epochs, args.delay
+    report_modes = {}
+    modes = [
+        ("serial", False, "none"),
+        ("pipelined", True, "none"),
+        ("compressed", True, "int8"),
+    ]
+    for name, pipeline, codec in modes:
+        wall, stats, emb, disk = run_mode(
+            pipeline, codec, edges, args.nodes, args.epochs, args.delay
         )
-        results[name] = (wall, stats, emb)
+        results[name] = (wall, stats, emb, disk)
         train = sum(e.train_time for e in stats.epochs)
         io = sum(e.io_time for e in stats.epochs)
         p = stats.pipeline
+        swapins = p.prefetch_hits + p.prefetch_misses
+        report_modes[name] = {
+            "pipeline": pipeline,
+            "codec": codec,
+            "wall_seconds": wall,
+            "train_seconds": train,
+            "io_seconds": io,
+            "prefetch_hits": p.prefetch_hits if pipeline else 0,
+            "prefetch_misses": p.prefetch_misses if pipeline else 0,
+            "prefetch_hit_rate": (
+                p.prefetch_hits / swapins if pipeline and swapins else 0.0
+            ),
+            "writeback_stall_seconds": (
+                p.writeback_stall_time if pipeline else 0.0
+            ),
+            "disk_bytes": disk,
+        }
         rows.append(
             (name, wall, train, io,
-             f"{p.prefetch_hits}/{p.prefetch_hits + p.prefetch_misses}"
-             if pipeline else "-",
-             p.writeback_stall_time if pipeline else 0.0)
+             f"{p.prefetch_hits}/{swapins}" if pipeline else "-",
+             p.writeback_stall_time if pipeline else 0.0,
+             disk / 1e6)
         )
 
     print(f"\n4-partition synthetic graph: {args.edges} edges, "
           f"{args.nodes} nodes, {args.epochs} epochs, "
           f"{args.delay * 1e3:.0f} ms simulated swap latency\n")
-    header = ("mode", "wall s", "train s", "io s", "prefetch", "stall s")
-    fmt = "{:<10} {:>8} {:>8} {:>8} {:>9} {:>8}"
+    header = ("mode", "wall s", "train s", "io s", "prefetch", "stall s",
+              "disk MB")
+    fmt = "{:<11} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}"
     print(fmt.format(*header))
-    for name, wall, train, io, hits, stall in rows:
+    for name, wall, train, io, hits, stall, disk_mb in rows:
         print(fmt.format(name, f"{wall:.2f}", f"{train:.2f}",
-                         f"{io:.2f}", hits, f"{stall:.2f}"))
+                         f"{io:.2f}", hits, f"{stall:.2f}",
+                         f"{disk_mb:.2f}"))
 
-    serial_wall, serial_stats, serial_emb = results["serial"]
-    pipe_wall, pipe_stats, pipe_emb = results["pipelined"]
+    serial_wall, serial_stats, serial_emb, serial_disk = results["serial"]
+    pipe_wall, pipe_stats, pipe_emb, _ = results["pipelined"]
+    _, _, comp_emb, comp_disk = results["compressed"]
     overlap = 1.0 - pipe_wall / serial_wall
     serial_io = sum(e.io_time for e in serial_stats.epochs)
     pipe_io = sum(e.io_time for e in pipe_stats.epochs)
     identical = np.array_equal(serial_emb, pipe_emb)
+    shrink = comp_disk / serial_disk
+    cosine = mean_row_cosine(serial_emb, comp_emb)
     print(f"\nwall-clock reduction: {overlap:.1%} "
           f"(io on critical path: {serial_io:.2f}s -> {pipe_io:.2f}s)")
-    print(f"embeddings bit-identical across modes: {identical}")
+    print(f"embeddings bit-identical across fp32 modes: {identical}")
+    print(f"int8 swap files vs fp32: {shrink:.1%} of the bytes")
+    print(f"int8 embedding drift (mean row cosine vs exact): "
+          f"{cosine:.4f}")
+
+    report = {
+        "benchmark": "bench_pipeline_overlap",
+        "quick": args.quick,
+        "params": {
+            "num_partitions": NPARTS,
+            "edges": args.edges,
+            "nodes": args.nodes,
+            "epochs": args.epochs,
+            "delay_seconds": args.delay,
+        },
+        "modes": report_modes,
+        "pipelined_wall_reduction": overlap,
+        "uncompressed_bit_identical": identical,
+        "int8_disk_shrink": shrink,
+        "int8_mean_row_cosine": cosine,
+    }
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"results written to {args.json}")
 
     if not identical:
         print("FAIL: pipelined embeddings diverge from serial",
               file=sys.stderr)
         return 1
+    if shrink > 0.5:
+        print(f"FAIL: int8 swap files should be < 50% of fp32, got "
+              f"{shrink:.1%}", file=sys.stderr)
+        return 1
+    if cosine < 0.8:
+        print(f"FAIL: int8 drifted too far from the exact run "
+              f"(mean row cosine {cosine:.4f} < 0.8)", file=sys.stderr)
+        return 1
     # In --quick mode the fixed thread/setup overheads dominate the tiny
-    # workload, so only the correctness gate is enforced.
+    # workload, so only the correctness gates are enforced.
     if not args.quick and overlap < 0.25:
         print(f"FAIL: expected >= 25% wall-clock reduction, got "
               f"{overlap:.1%}", file=sys.stderr)

@@ -89,6 +89,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         config = config.replace(
             partition_cache_budget=args.partition_cache_budget
         )
+    if args.partition_compression is not None:
+        config = config.replace(
+            partition_compression=args.partition_compression
+        )
+    if args.writeback_delta:
+        config = config.replace(writeback_delta=True)
     edges = load_edges(args.edges)
     counts = (
         json.loads(args.entity_counts)
@@ -115,7 +121,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         storage = PartitionedEmbeddingStorage(
-            Path(args.checkpoint) / "swap"
+            Path(args.checkpoint) / "swap",
+            codec=config.partition_compression,
         )
     trainer = Trainer(config, model, entities, storage)
 
@@ -196,6 +203,15 @@ def _train_distributed(
             f"{stats.reservation_accuracy:.0%} reservation accuracy, "
             f"{stats.transfer_overlap_seconds:.1f}s transfer overlapped"
         )
+    if config.partition_compression != "none" or config.writeback_delta:
+        deltas = sum(m.delta_pushes for m in stats.machines)
+        fallbacks = sum(m.delta_fallbacks for m in stats.machines)
+        print(
+            f"wire: {stats.wire_bytes_total / 1e6:.1f} MB moved "
+            f"({config.partition_compression} codec), "
+            f"{stats.wire_bytes_saved / 1e6:.1f} MB saved, "
+            f"{deltas} delta pushes ({fallbacks} stale fallbacks)"
+        )
     if args.checkpoint is not None:
         save_model(args.checkpoint, model, entities,
                    metadata={"epoch": config.num_epochs - 1})
@@ -258,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="byte budget of the pipelined partition "
                               "cache (default: unlimited; per machine "
                               "in distributed mode)")
+    p_train.add_argument("--partition-compression",
+                         choices=("none", "fp16", "int8"), default=None,
+                         help="codec for swapped partitions on wire and "
+                              "disk (default: config value / none)")
+    p_train.add_argument("--writeback-delta", action="store_true",
+                         help="push dirty-row deltas instead of whole "
+                              "partitions on distributed writeback")
     p_train.add_argument("--mode", choices=("thread", "process"),
                          default="thread",
                          help="distributed transport when the config "

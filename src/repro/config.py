@@ -34,6 +34,7 @@ __all__ = [
     "COMPARATOR_NAMES",
     "LOSS_NAMES",
     "BUCKET_ORDER_NAMES",
+    "COMPRESSION_NAMES",
 ]
 
 #: Relation operator registry keys (see :mod:`repro.core.operators`).
@@ -54,6 +55,9 @@ LOSS_NAMES = ("ranking", "logistic", "softmax")
 
 #: Bucket iteration orders (see :mod:`repro.graph.buckets`).
 BUCKET_ORDER_NAMES = ("inside_out", "outside_in", "chained", "random")
+
+#: Partition codec names (see :mod:`repro.graph.compression`).
+COMPRESSION_NAMES = ("none", "fp16", "int8")
 
 
 class ConfigError(ValueError):
@@ -209,6 +213,18 @@ class ConfigSchema:
     # counteracts the slower convergence of grouped (non-i.i.d.) edge
     # sampling, at the cost of proportionally more partition swaps.
     stratum_passes: int = 1
+    # Partition codec for swapped partitions: on the wire (partition
+    # server transfers and hosted shards) and on disk (single-machine
+    # swap files, checkpoint embedding partitions). "none" is the
+    # bit-exact fp32 baseline; "fp16" halves transfer bytes; "int8"
+    # (symmetric per-row quantisation) quarters them at a bounded
+    # per-row error. Optimizer state always stays fp32.
+    partition_compression: str = "none"
+    # Push dirty-row deltas (row_indices + rows) instead of whole
+    # partitions on distributed writeback; applied server-side under
+    # the per-key version check, so a stale delta degrades to a full
+    # push. With partition_compression="none" this is exactly lossless.
+    writeback_delta: bool = False
 
     # Distributed training.
     num_machines: int = 1
@@ -300,6 +316,12 @@ class ConfigSchema:
             raise ConfigError(
                 "partition_cache_budget must be >= 0 bytes (or None for "
                 "unlimited)"
+            )
+        if self.partition_compression not in COMPRESSION_NAMES:
+            raise ConfigError(
+                f"unknown partition_compression "
+                f"{self.partition_compression!r}; "
+                f"expected one of {COMPRESSION_NAMES}"
             )
         if not 0.0 <= self.eval_fraction < 1.0:
             raise ConfigError("eval_fraction must be in [0, 1)")

@@ -39,6 +39,7 @@ def save_model(
     entities: EntityStorage,
     metadata: dict | None = None,
     barrier=None,
+    codec: str = "none",
 ) -> CheckpointStorage:
     """Persist config, parameters and layouts; returns the storage.
 
@@ -48,10 +49,14 @@ def save_model(
     partition store before the checkpoint claims consistency — a
     checkpoint taken mid-writeback would otherwise pair fresh resident
     partitions with stale evicted ones.
+
+    ``codec`` compresses the checkpoint's embedding partitions on disk
+    (shared parameters stay fp32); partition files are self-describing,
+    so :func:`load_model` reads any codec without being told.
     """
     if barrier is not None:
         barrier()
-    ckpt = CheckpointStorage(checkpoint_dir)
+    ckpt = CheckpointStorage(checkpoint_dir, codec=codec)
     ckpt.save_config(model.config.to_json())
 
     shared = model.get_shared_params()

@@ -69,6 +69,14 @@ class DenseEmbeddingTable(EmbeddingTable):
 
     ``weights`` and the row-Adagrad ``state`` are plain arrays so they
     can be checkpointed / shipped to the partition server directly.
+
+    The table tracks which rows have been touched by
+    :meth:`apply_gradients` since construction — a table built from a
+    freshly fetched partition therefore knows exactly which rows differ
+    from the stored baseline, which is what delta writeback pushes.
+    All gradient flow goes through :meth:`apply_gradients` (positives
+    and sampled negatives alike), and setting a boolean flag is
+    idempotent, so the mask is complete even under HOGWILD updates.
     """
 
     def __init__(self, weights: np.ndarray, state: np.ndarray | None = None):
@@ -82,6 +90,7 @@ class DenseEmbeddingTable(EmbeddingTable):
         )
         if len(self.optimizer.state) != len(weights):
             raise ValueError("optimizer state rows must match weights rows")
+        self._dirty_mask = np.zeros(len(weights), dtype=bool)
 
     @classmethod
     def create(
@@ -101,7 +110,13 @@ class DenseEmbeddingTable(EmbeddingTable):
         return self.weights[rows]
 
     def apply_gradients(self, rows, grads, lr):
+        self._dirty_mask[rows] = True
         self.optimizer.step(self.weights, rows, grads, lr)
+
+    def dirty_row_indices(self) -> np.ndarray:
+        """Sorted indices of rows modified since this table was built
+        (i.e. since its partition was fetched/initialised)."""
+        return np.flatnonzero(self._dirty_mask)
 
     def nbytes(self) -> int:
         return self.weights.nbytes + self.optimizer.nbytes()

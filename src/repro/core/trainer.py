@@ -143,6 +143,10 @@ class TrainingStats:
     epochs: "list[EpochStats]" = field(default_factory=list)
     peak_resident_bytes: int = 0
     total_time: float = 0.0
+    #: bytes the swap store holds at run end (compressed size when a
+    #: partition codec is configured — the disk column of the benchmark
+    #: reports)
+    partition_store_bytes: int = 0
 
     @property
     def total_edges(self) -> int:
@@ -274,6 +278,8 @@ class Trainer:
                     if not failing:
                         raise
         stats.total_time = time.perf_counter() - start
+        if self.storage is not None:
+            stats.partition_store_bytes = self.storage.nbytes()
         return stats
 
     # ------------------------------------------------------------------
@@ -328,6 +334,7 @@ class Trainer:
             self.entities,
             metadata={"epoch": epoch},
             barrier=self._pipeline_barrier if self._pipeline_active else None,
+            codec=self.config.partition_compression,
         )
 
     # ------------------------------------------------------------------

@@ -59,6 +59,33 @@ adapter instead of disk:
 First-touch initialisation always happens on the owning machine's main
 thread (never on the prefetch thread), so with one machine the
 pipelined run is bit-identical to the serial run under a fixed seed.
+
+Deferred release on the serial path
+-----------------------------------
+
+The serial protocol historically released a bucket *before* pushing
+its partitions back (the push happened lazily, at the next swap), so
+another machine could acquire a bucket and fetch a partition whose
+push-back had not landed — fetching the previous, stale version from
+the partition server. Both paths now release with ``defer=True``: the
+serial swap pushes each evicted partition and immediately commits its
+deferral inline (push-then-commit), so a partition is never fetchable
+before its bytes land. A machine starved by the lock server flushes
+and commits its deferred residents for the same reason the pipelined
+path parks them — two starved machines cross-holding each other's next
+partitions must not wedge the grid.
+
+Compressed transport
+--------------------
+
+All partition-server traffic goes through
+:class:`~repro.distributed.partition_server.PartitionServerStorage`
+(both paths), which speaks the server's configured partition codec
+(``config.partition_compression``) and, with ``config.writeback_delta``,
+pushes dirty-row deltas instead of whole partitions — applied
+server-side under the per-key version check, with stale deltas
+degrading to full pushes. Since PR 2's NIC model charges bytes as
+wall-clock, both knobs convert directly into shorter swap stalls.
 """
 
 from __future__ import annotations
@@ -90,7 +117,7 @@ from repro.graph.buckets import Bucket
 from repro.graph.edgelist import EdgeList
 from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import BucketedEdges, bucket_edges
-from repro.graph.storage import PartitionPipeline
+from repro.graph.storage import PartitionPipeline, StorageError
 
 __all__ = ["DistributedTrainer", "MachineStats", "DistributedStats"]
 
@@ -112,6 +139,13 @@ class MachineStats:
     partition-server I/O wall time this machine's background threads
     absorbed off the critical path (total adapter I/O seconds minus the
     swap/flush time still paid inline).
+
+    The wire block accounts this machine's partition-server traffic in
+    *encoded* bytes; ``wire_bytes_saved`` is how many fp32 bytes the
+    codec and delta writeback avoided moving (at a fixed simulated
+    bandwidth, directly wall-clock saved). ``delta_pushes`` counts
+    dirty-row writebacks that applied server-side; ``delta_fallbacks``
+    counts deltas rejected as stale and degraded to full pushes.
     """
 
     machine: int
@@ -131,6 +165,12 @@ class MachineStats:
     transfer_overlap_time: float = 0.0
     reservations: int = 0
     reservation_hits: int = 0
+    # Compressed transport (both paths).
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
+    wire_bytes_saved: int = 0
+    delta_pushes: int = 0
+    delta_fallbacks: int = 0
 
 
 @dataclass
@@ -176,6 +216,18 @@ class DistributedStats:
         """Partition-server transfer seconds hidden behind compute,
         summed over machines."""
         return sum(m.transfer_overlap_time for m in self.machines)
+
+    @property
+    def wire_bytes_total(self) -> int:
+        """Encoded partition-server bytes moved, summed over machines."""
+        return sum(
+            m.wire_bytes_sent + m.wire_bytes_received for m in self.machines
+        )
+
+    @property
+    def wire_bytes_saved(self) -> int:
+        """fp32 bytes the codec + delta writeback kept off the wire."""
+        return sum(m.wire_bytes_saved for m in self.machines)
 
 
 class _ServerManager(BaseManager):
@@ -269,8 +321,13 @@ def _machine_main(
         )
         client.initial_sync()
         committer = None
+        # Both paths speak to the partition server through the adapter:
+        # it applies the server's codec accounting, tracks baseline
+        # versions for delta writeback, and guards decoded dtypes.
+        backend = PartitionServerStorage(
+            partition_server, use_delta=cfg.writeback_delta
+        )
         if cfg.pipeline:
-            backend = PartitionServerStorage(partition_server)
             pipe = PartitionPipeline(
                 backend,
                 budget_bytes=cfg.partition_cache_budget,
@@ -285,13 +342,14 @@ def _machine_main(
                 if bucket is None:
                     if lock_server.epoch_done():
                         break
+                    # Starved: give up deferred-resident partitions so
+                    # other machines can schedule around us (two
+                    # starved machines cross-holding each other's next
+                    # partitions would otherwise never make progress).
                     if pipe is not None:
-                        # Starved: give up deferred-resident partitions
-                        # so other machines can schedule around us (two
-                        # starved machines cross-holding each other's
-                        # next partitions would otherwise never make
-                        # progress).
                         _park_residents(ctx, model, pipe, committer)
+                    else:
+                        _flush_partitions(ctx, model, backend, lock_server)
                     t0 = time.perf_counter()
                     time.sleep(_IDLE_SLEEP)
                     mstats.idle_time += time.perf_counter() - t0
@@ -307,7 +365,7 @@ def _machine_main(
                         ctx, model, bucket, pipe, committer, rng, mstats
                     )
                 else:
-                    _swap_to_bucket(ctx, model, bucket, partition_server, rng)
+                    _swap_to_bucket(ctx, model, bucket, backend, lock_server, rng)
                 elapsed = time.perf_counter() - t0
                 mstats.transfer_time += elapsed
                 inline_io += elapsed
@@ -340,9 +398,13 @@ def _machine_main(
                 mstats.loss += bstats.loss
                 mstats.num_edges += bstats.num_edges
                 mstats.buckets_trained += 1
-                lock_server.release(
-                    ctx.machine, bucket, defer=pipe is not None
-                )
+                # Both paths defer: the bucket's partitions stay
+                # invisible to other machines until their push-backs
+                # land (asynchronously via the writeback thread in
+                # pipelined mode; push-then-commit inline at the next
+                # swap in serial mode). Releasing without deferral is
+                # the historical fetch-before-push race.
+                lock_server.release(ctx.machine, bucket, defer=True)
 
             # Flush resident partitions so the epoch-end model is complete.
             t0 = time.perf_counter()
@@ -354,7 +416,7 @@ def _machine_main(
                 _park_residents(ctx, model, pipe, committer)
                 pipe.drain()
             else:
-                _flush_partitions(ctx, model, partition_server)
+                _flush_partitions(ctx, model, backend, lock_server)
             inline_io += time.perf_counter() - t0
             client.maybe_sync(force=True)
             mstats.transfer_time += time.perf_counter() - t0
@@ -369,6 +431,11 @@ def _machine_main(
             mstats.transfer_overlap_time = max(
                 0.0, backend.io_seconds - inline_io
             )
+        mstats.wire_bytes_sent = backend.bytes_sent
+        mstats.wire_bytes_received = backend.bytes_received
+        mstats.wire_bytes_saved = backend.bytes_saved
+        mstats.delta_pushes = backend.delta_pushes
+        mstats.delta_fallbacks = backend.delta_fallbacks
         result_queue.put(("ok", mstats))
     except BaseException as exc:
         try:
@@ -397,24 +464,44 @@ def _needed_partitions(
     return needed
 
 
+def _dirty_rows(ctx: _WorkerContext, table: DenseEmbeddingTable):
+    """Dirty-row hint for a push-back: the rows this machine touched
+    since fetching the table, or None when delta writeback is off."""
+    return table.dirty_row_indices() if ctx.config.writeback_delta else None
+
+
 def _swap_to_bucket(
     ctx: _WorkerContext,
     model: EmbeddingModel,
     bucket: Bucket,
-    partition_server,
+    backend: PartitionServerStorage,
+    lock_server,
     rng: np.random.Generator,
 ) -> None:
+    """Serial swap: push-then-commit evictions, then fetch the bucket.
+
+    Each evicted partition's lock-server deferral is committed inline,
+    *after* its push lands — the partition is never fetchable by
+    another machine while its bytes are still only local (the
+    historical release/fetch race). Partitions retained across buckets
+    had their deferral cleared when this machine re-acquired them.
+    """
     needed = _needed_partitions(ctx, bucket)
     for key in list(model.resident_tables()):
         if key not in needed and key[0] not in ctx.unpartitioned_types:
             table = model.drop_table(*key)
-            partition_server.put(
-                key[0], key[1], table.weights, table.optimizer.state
+            backend.save(
+                key[0], key[1], table.weights, table.optimizer.state,
+                dirty_rows=_dirty_rows(ctx, table),
             )
+            lock_server.commit_partition(ctx.machine, key[1])
     for entity_type, part in sorted(needed):
         if model.has_table(entity_type, part):
             continue
-        entry = partition_server.get(entity_type, part)
+        try:
+            entry = backend.load(entity_type, part)
+        except StorageError:
+            entry = None
         if entry is None:
             model.init_partition(entity_type, part, rng)
         else:
@@ -422,15 +509,23 @@ def _swap_to_bucket(
 
 
 def _flush_partitions(
-    ctx: _WorkerContext, model: EmbeddingModel, partition_server
+    ctx: _WorkerContext,
+    model: EmbeddingModel,
+    backend: PartitionServerStorage,
+    lock_server,
 ) -> None:
+    """Push every partitioned resident table and commit its deferral
+    (push-then-commit, like the serial swap). Used at epoch end and
+    when the serial path is starved while holding deferred partitions."""
     for entity_type, part in list(model.resident_tables()):
         if entity_type in ctx.unpartitioned_types:
             continue
         table = model.drop_table(entity_type, part)
-        partition_server.put(
-            entity_type, part, table.weights, table.optimizer.state
+        backend.save(
+            entity_type, part, table.weights, table.optimizer.state,
+            dirty_rows=_dirty_rows(ctx, table),
         )
+        lock_server.commit_partition(ctx.machine, part)
 
 
 def _swap_to_bucket_pipelined(
@@ -497,6 +592,7 @@ def _park_residents(
         pipe.park(
             key[0], key[1], table.weights, table.optimizer.state,
             on_flushed=lambda part=key[1]: committer.landed(part),
+            dirty_rows=_dirty_rows(ctx, table),
         )
 
 
@@ -631,7 +727,9 @@ class DistributedTrainer:
             lock_server = manager.LockServer(
                 bucketed.nparts_lhs, bucketed.nparts_rhs
             )
-            partition_server = manager.PartitionServer(self.num_machines)
+            partition_server = manager.PartitionServer(
+                self.num_machines, None, self.config.partition_compression
+            )
             parameter_server = manager.ParameterServer(self.num_machines)
             mp_ctx = mp.get_context("fork")
             barrier = mp_ctx.Barrier(self.num_machines + 1)
@@ -639,7 +737,9 @@ class DistributedTrainer:
         else:
             lock_server = LockServer(bucketed.nparts_lhs, bucketed.nparts_rhs)
             partition_server = PartitionServer(
-                self.num_machines, self.bandwidth
+                self.num_machines,
+                self.bandwidth,
+                codec=self.config.partition_compression,
             )
             parameter_server = ParameterServer(self.num_machines)
             barrier = threading.Barrier(self.num_machines + 1)

@@ -40,6 +40,14 @@ from the owner's writeback thread once the push lands — lifts the
 deferral. This is the PR-1 flush-before-reuse rule applied to the
 network path: no consumer may observe a partition whose latest write
 has not landed.
+
+*Both* distributed paths now defer. The serial path historically
+released without deferral and pushed lazily at its next swap, so
+another machine could fetch a partition whose push-back had not landed
+(the release/fetch race); it now releases with ``defer=True`` and
+commits each partition inline immediately after pushing it
+(push-then-commit), while the pipelined path commits from its
+writeback thread as pushes land asynchronously.
 """
 
 from __future__ import annotations

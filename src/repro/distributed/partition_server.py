@@ -19,6 +19,14 @@ per-key version counter; :class:`PartitionServerStorage` records the
 version it observed so pipelined trainers can detect that a staged
 (prefetched) copy went stale because another machine pushed an update
 in the meantime.
+
+Transfers are compressed with a partition codec
+(:mod:`repro.graph.compression`): shards hold the *encoded* payload
+(so hosted memory shrinks too), the NIC model charges encoded bytes,
+and :meth:`PartitionServer.put_delta` accepts dirty-row writeback
+deltas applied under the per-key version check — a delta computed
+against a stale version is rejected and the caller degrades to a full
+push.
 """
 
 from __future__ import annotations
@@ -29,13 +37,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.graph import compression
 from repro.graph.storage import StorageError
 
 __all__ = [
     "PartitionServer",
     "PartitionServerStats",
     "PartitionServerStorage",
+    "CodecDriftError",
 ]
+
+
+class CodecDriftError(RuntimeError):
+    """A fetched partition decoded to drifted dtype/shape.
+
+    Deliberately *not* a :class:`~repro.graph.storage.StorageError`:
+    every consumer treats StorageError as "partition absent, initialise
+    it", which would silently discard the (corrupt but real) stored
+    data. Drift must abort the run instead.
+    """
 
 
 @dataclass
@@ -44,9 +64,13 @@ class PartitionServerStats:
 
     ``gets`` counts every fetch attempt — including ones that return
     None (``misses``) — so hit rates can be derived; bytes accrue only
-    for transfers that actually moved data. ``simulated_transfer_seconds``
-    is the pure bytes/bandwidth cost; ``simulated_queue_seconds`` is the
-    extra time transfers spent waiting for a busy shard NIC.
+    for transfers that actually moved data, and are *encoded* (on-wire)
+    bytes under a non-trivial codec — ``bytes_saved`` accumulates how
+    many fp32 bytes the codec and delta writeback avoided moving.
+    ``simulated_transfer_seconds`` is the pure bytes/bandwidth cost;
+    ``simulated_queue_seconds`` is the extra time transfers spent
+    waiting for a busy shard NIC. ``delta_puts`` / ``delta_stale``
+    count dirty-row writebacks applied / rejected for staleness.
     """
 
     gets: int = 0
@@ -54,6 +78,9 @@ class PartitionServerStats:
     misses: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    bytes_saved: int = 0
+    delta_puts: int = 0
+    delta_stale: int = 0
     simulated_transfer_seconds: float = 0.0
     simulated_queue_seconds: float = 0.0
 
@@ -61,12 +88,18 @@ class PartitionServerStats:
 @dataclass
 class _Shard:
     lock: threading.Lock = field(default_factory=threading.Lock)
-    store: "dict[tuple[str, int], tuple[np.ndarray, np.ndarray]]" = field(
+    #: key → encoded wire payload (see repro.graph.compression)
+    store: "dict[tuple[str, int], dict[str, np.ndarray]]" = field(
         default_factory=dict
     )
     versions: "dict[tuple[str, int], int]" = field(default_factory=dict)
     #: monotonic timestamp at which this shard's simulated NIC is free
     nic_free_at: float = 0.0
+
+
+def _raw_nbytes(num_rows: int, dim: int) -> int:
+    """fp32 bytes of a full partition — the uncompressed baseline."""
+    return compression.wire_nbytes("none", num_rows, dim)
 
 
 class PartitionServer:
@@ -83,26 +116,39 @@ class PartitionServer:
         seconds, and concurrent transfers on one shard serialise.
         ``None`` disables the delay (the default for tests and fast
         benchmarks).
+    codec:
+        Partition codec name used for every transfer and for hosted
+        storage (``none`` / ``fp16`` / ``int8``). The NIC model charges
+        encoded bytes, so a smaller codec is directly wall-clock saved.
     """
 
     def __init__(
         self,
         num_shards: int,
         bandwidth_bytes_per_s: float | None = None,
+        codec: str = "none",
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self._shards = [_Shard() for _ in range(num_shards)]
         self.bandwidth = bandwidth_bytes_per_s
+        self._codec = compression.get_codec(codec)
         self.stats = PartitionServerStats()
         self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
+    def codec_name(self) -> str:
+        """Name of the codec this server transfers/stores with (a
+        method, not an attribute, so manager proxies can forward it)."""
+        return self._codec.name
+
     def _shard(self, part: int) -> _Shard:
         return self._shards[part % len(self._shards)]
 
-    def _account(self, shard: _Shard, nbytes: int, sent: bool) -> None:
+    def _account(
+        self, shard: _Shard, nbytes: int, sent: bool, saved: int = 0
+    ) -> None:
         delay = nbytes / self.bandwidth if self.bandwidth else 0.0
         wait = 0.0
         with self._stats_lock:
@@ -112,6 +158,7 @@ class PartitionServer:
             else:
                 self.stats.puts += 1
                 self.stats.bytes_received += nbytes
+            self.stats.bytes_saved += saved
             self.stats.simulated_transfer_seconds += delay
             if delay:
                 # The shard's NIC is shared: this transfer starts when
@@ -138,17 +185,67 @@ class PartitionServer:
         embeddings: np.ndarray,
         optim_state: np.ndarray,
     ) -> int:
-        """Store a partition (the server keeps its own copy); returns
-        the partition's new version number."""
-        emb = np.array(embeddings, copy=True)
-        state = np.array(optim_state, copy=True)
+        """Store a partition (the server keeps its own, encoded, copy);
+        returns the partition's new version number."""
+        payload = self._codec.encode(embeddings, optim_state)
+        nbytes = compression.payload_nbytes(payload)
+        raw = _raw_nbytes(len(embeddings), embeddings.shape[1])
         shard = self._shard(part)
         key = (entity_type, part)
         with shard.lock:
-            shard.store[key] = (emb, state)
+            shard.store[key] = payload
             version = shard.versions.get(key, 0) + 1
             shard.versions[key] = version
-        self._account(shard, emb.nbytes + state.nbytes, sent=False)
+        self._account(shard, nbytes, sent=False, saved=raw - nbytes)
+        return version
+
+    def put_delta(
+        self,
+        entity_type: str,
+        part: int,
+        row_indices: np.ndarray,
+        emb_rows: np.ndarray,
+        state_rows: np.ndarray,
+        base_version: int,
+    ) -> "int | None":
+        """Apply a dirty-row writeback delta under the version check.
+
+        The delta was computed against ``base_version`` of the stored
+        partition; if the server's version has moved on (another
+        machine pushed in between), the delta is *rejected* — returns
+        None and the caller must degrade to a full :meth:`put`. On
+        success the stored partition is decoded, the delta rows are
+        scattered in, the result is re-encoded, the version bumps, and
+        the new version is returned. Only the delta's bytes are charged
+        to the NIC (the version check itself is a metadata round-trip,
+        not a data transfer).
+        """
+        delta = compression.encode_delta(
+            self._codec, row_indices, emb_rows, state_rows
+        )
+        nbytes = compression.payload_nbytes(delta)
+        shard = self._shard(part)
+        key = (entity_type, part)
+        with shard.lock:
+            current = shard.versions.get(key, 0)
+            if current != base_version or key not in shard.store:
+                stale = True
+            else:
+                stale = False
+                emb, state = self._codec.decode(shard.store[key])
+                rows, d_emb, d_state = compression.decode_delta(delta)
+                compression.apply_delta_rows(emb, state, rows, d_emb, d_state)
+                shard.store[key] = self._codec.encode(emb, state)
+                version = current + 1
+                shard.versions[key] = version
+        if stale:
+            with self._stats_lock:
+                self.stats.delta_stale += 1
+            return None
+        raw = _raw_nbytes(len(emb), emb.shape[1])
+        with self._stats_lock:
+            self.stats.delta_puts += 1
+        self._account(shard, nbytes, sent=False, saved=raw - nbytes)
         return version
 
     def get_versioned(
@@ -158,18 +255,18 @@ class PartitionServer:
         shard = self._shard(part)
         key = (entity_type, part)
         with shard.lock:
-            entry = shard.store.get(key)
-            if entry is None:
-                version = None
-            else:
-                emb, state = np.array(entry[0], copy=True), np.array(
-                    entry[1], copy=True
-                )
-                version = shard.versions[key]
+            payload = shard.store.get(key)
+            version = shard.versions.get(key) if payload is not None else None
         if version is None:
             self._account_miss()
             return None
-        self._account(shard, emb.nbytes + state.nbytes, sent=True)
+        # Decode outside the shard lock: payloads are replaced
+        # wholesale on put, never mutated, and decode() allocates fresh
+        # arrays, so callers can never alias the stored copy.
+        emb, state = self._codec.decode(payload)
+        nbytes = compression.payload_nbytes(payload)
+        raw = _raw_nbytes(len(emb), emb.shape[1])
+        self._account(shard, nbytes, sent=True, saved=raw - nbytes)
         return emb, state, version
 
     def get(
@@ -200,14 +297,15 @@ class PartitionServer:
         return sorted(out)
 
     def shard_nbytes(self) -> "list[int]":
-        """Bytes hosted per shard — the memory each machine contributes."""
+        """Bytes hosted per shard — the memory each machine contributes
+        (encoded bytes: a non-trivial codec shrinks hosting too)."""
         sizes = []
         for shard in self._shards:
             with shard.lock:
                 sizes.append(
                     sum(
-                        e.nbytes + s.nbytes
-                        for e, s in shard.store.values()
+                        compression.payload_nbytes(p)
+                        for p in shard.store.values()
                     )
                 )
         return sizes
@@ -228,15 +326,57 @@ class PartitionServerStorage:
     accumulates ``io_seconds`` — total wall time spent inside server
     transfers across all threads — from which the trainer derives how
     much transfer time was overlapped with compute.
+
+    With ``use_delta=True``, :meth:`save` pushes a dirty-row delta
+    (when the caller supplies ``dirty_rows`` and the baseline version
+    is known) instead of the whole partition; a stale delta degrades to
+    a full push (``delta_fallbacks``), and a save with *no* dirty rows
+    against a still-current baseline is skipped outright
+    (``delta_skips``) — nothing changed, so the server copy is already
+    exact. The adapter also keeps analytic per-machine wire counters
+    (``bytes_sent`` / ``bytes_received`` / ``bytes_saved``), computed
+    locally from the server's codec so they work across manager
+    proxies.
     """
 
-    def __init__(self, server) -> None:
+    def __init__(self, server, use_delta: bool = False) -> None:
         self.server = server
+        self.use_delta = use_delta
         self._lock = threading.Lock()
         self._versions: "dict[tuple[str, int], int]" = {}
+        self._codec_name: "str | None" = None
         self.loads = 0
         self.saves = 0
+        self.delta_pushes = 0
+        self.delta_fallbacks = 0
+        self.delta_skips = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.bytes_saved = 0
         self.io_seconds = 0.0
+
+    def codec_name(self) -> str:
+        """The server's codec name (fetched once, cached — one manager
+        round-trip in process mode)."""
+        if self._codec_name is None:
+            self._codec_name = self.server.codec_name()
+        return self._codec_name
+
+    def _wire(self, num_rows: int, dim: int, outbound: bool, *, delta=False):
+        """Account one transfer's encoded + saved bytes locally, from
+        this machine's perspective (loads receive, saves send)."""
+        codec = self.codec_name()
+        if delta:
+            nbytes = compression.delta_wire_nbytes(codec, num_rows, dim)
+        else:
+            nbytes = compression.wire_nbytes(codec, num_rows, dim)
+        raw = compression.wire_nbytes("none", num_rows, dim)
+        with self._lock:
+            if outbound:
+                self.bytes_sent += nbytes
+            else:
+                self.bytes_received += nbytes
+            self.bytes_saved += raw - nbytes
 
     def load(
         self, entity_type: str, part: int
@@ -253,7 +393,27 @@ class PartitionServerStorage:
             raise StorageError(
                 f"partition server has no ({entity_type!r}, {part})"
             )
-        return entry[0], entry[1]
+        embeddings, optim_state = entry[0], entry[1]
+        # Every fetch crosses an encode→decode round-trip; a codec bug
+        # (or a foreign writer) must never land dtype- or shape-drifted
+        # arrays in the staging cache, where they would silently poison
+        # training. Fail loudly here instead.
+        if embeddings.dtype != np.float32 or embeddings.ndim != 2:
+            raise CodecDriftError(
+                f"partition ({entity_type!r}, {part}) decoded to "
+                f"{embeddings.dtype}/{embeddings.ndim}-d embeddings; "
+                "expected float32 2-d"
+            )
+        if optim_state.dtype != np.float32 or optim_state.shape != (
+            len(embeddings),
+        ):
+            raise CodecDriftError(
+                f"partition ({entity_type!r}, {part}) decoded to "
+                f"{optim_state.dtype}/{optim_state.shape} optimizer "
+                f"state; expected float32 ({len(embeddings)},)"
+            )
+        self._wire(len(embeddings), embeddings.shape[1], outbound=False)
+        return embeddings, optim_state
 
     def save(
         self,
@@ -261,14 +421,56 @@ class PartitionServerStorage:
         part: int,
         embeddings: np.ndarray,
         optim_state: np.ndarray,
+        dirty_rows: "np.ndarray | None" = None,
     ) -> None:
+        key = (entity_type, part)
+        num_rows, dim = embeddings.shape
+        with self._lock:
+            base = self._versions.get(key) if self.use_delta else None
         t0 = time.perf_counter()
-        version = self.server.put(entity_type, part, embeddings, optim_state)
+        version = None
+        if (
+            base is not None
+            and dirty_rows is not None
+            and len(dirty_rows) == 0
+        ):
+            # Nothing changed since fetch: if the server still holds
+            # our baseline, the stored copy is already exact — skip the
+            # transfer entirely.
+            if self.server.version(entity_type, part) == base:
+                with self._lock:
+                    self.io_seconds += time.perf_counter() - t0
+                    self.saves += 1
+                    self.delta_skips += 1
+                return
+        elif (
+            base is not None
+            and dirty_rows is not None
+            and len(dirty_rows) < num_rows
+        ):
+            version = self.server.put_delta(
+                entity_type,
+                part,
+                dirty_rows,
+                embeddings[dirty_rows],
+                optim_state[dirty_rows],
+                base,
+            )
+            if version is not None:
+                with self._lock:
+                    self.delta_pushes += 1
+                self._wire(len(dirty_rows), dim, outbound=True, delta=True)
+            else:
+                with self._lock:
+                    self.delta_fallbacks += 1
+        if version is None:
+            version = self.server.put(entity_type, part, embeddings, optim_state)
+            self._wire(num_rows, dim, outbound=True)
         elapsed = time.perf_counter() - t0
         with self._lock:
             self.io_seconds += elapsed
             self.saves += 1
-            self._versions[(entity_type, part)] = version
+            self._versions[key] = version
 
     def is_current(self, entity_type: str, part: int) -> bool:
         """Whether the last version this adapter observed for the

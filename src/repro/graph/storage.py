@@ -42,6 +42,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.graph import compression
+
 __all__ = [
     "PartitionedEmbeddingStorage",
     "CheckpointStorage",
@@ -73,14 +75,20 @@ def _atomic_savez(path: Path, **arrays: np.ndarray) -> None:
 class PartitionedEmbeddingStorage:
     """Disk store for per-partition embeddings + optimizer state.
 
-    Layout: ``{root}/{entity_type}/part-{p:05d}.npz`` holding arrays
-    ``embeddings`` (n x d float32) and ``optim_state`` (the row-Adagrad
-    accumulator, one float per row).
+    Layout: ``{root}/{entity_type}/part-{p:05d}.npz`` holding the wire
+    payload of the configured partition codec — for the default
+    ``codec="none"`` that is arrays ``embeddings`` (n x d float32) and
+    ``optim_state`` (the row-Adagrad accumulator, one float per row),
+    i.e. the historical format. Files are self-describing (the codec
+    name is stored alongside the arrays), so :meth:`load` reads any
+    codec regardless of what this instance writes; legacy files without
+    a marker decode as fp32.
     """
 
-    def __init__(self, root: "str | Path") -> None:
+    def __init__(self, root: "str | Path", codec: str = "none") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.codec = compression.get_codec(codec)
 
     def _path(self, entity_type: str, part: int) -> Path:
         return self.root / entity_type / f"part-{part:05d}.npz"
@@ -91,16 +99,20 @@ class PartitionedEmbeddingStorage:
         part: int,
         embeddings: np.ndarray,
         optim_state: np.ndarray,
+        dirty_rows: "np.ndarray | None" = None,
     ) -> None:
-        """Persist one partition (atomically)."""
+        """Persist one partition (atomically), encoded with this
+        store's codec. ``dirty_rows`` is accepted for interface parity
+        with the partition-server adapter (delta writeback); a file
+        must stay a complete self-contained snapshot, so it is ignored
+        and the full partition is written."""
         if len(embeddings) != len(optim_state):
             raise ValueError(
                 "embeddings and optimizer state must have matching rows"
             )
         _atomic_savez(
             self._path(entity_type, part),
-            embeddings=np.ascontiguousarray(embeddings, dtype=np.float32),
-            optim_state=np.ascontiguousarray(optim_state, dtype=np.float32),
+            **self.codec.encode(embeddings, optim_state),
         )
 
     def load(
@@ -112,7 +124,11 @@ class PartitionedEmbeddingStorage:
             raise StorageError(f"no stored partition at {path}")
         try:
             with np.load(path) as data:
-                return data["embeddings"], data["optim_state"]
+                payload = {k: data[k] for k in data.files}
+            codec = compression.get_codec(
+                compression.payload_codec_name(payload)
+            )
+            return codec.decode(payload)
         except (OSError, KeyError, ValueError) as exc:
             raise StorageError(f"corrupt partition file {path}: {exc}") from exc
 
@@ -195,12 +211,17 @@ class WritebackQueue:
         embeddings: np.ndarray,
         optim_state: np.ndarray,
         on_done=None,
+        dirty_rows: "np.ndarray | None" = None,
     ) -> None:
         """Enqueue one partition write; returns immediately.
 
         ``on_done()`` runs on the writer thread after a successful
-        write (the cache uses it to flip dirty → clean). Blocks only
-        when ``max_pending`` is set and the backlog is full.
+        write (the cache uses it to flip dirty → clean). ``dirty_rows``
+        (row indices modified since the partition was fetched) is
+        forwarded to the backend's ``save`` when given, letting a
+        delta-capable backend push only those rows; backends without
+        the parameter never see it. Blocks only when ``max_pending``
+        is set and the backlog is full.
         """
         key = (entity_type, part)
         with self._cv:
@@ -216,7 +237,9 @@ class WritebackQueue:
                     self._cv.wait()
                 self.stall_seconds += time.perf_counter() - t0
                 self._raise_if_failed()
-            self._jobs.append((key, embeddings, optim_state, on_done))
+            self._jobs.append(
+                (key, embeddings, optim_state, dirty_rows, on_done)
+            )
             self._pending[key] = self._pending.get(key, 0) + 1
             self._cv.notify_all()
 
@@ -277,9 +300,17 @@ class WritebackQueue:
                     self._cv.wait()
                 if self._closed and not self._jobs:
                     return
-                key, embeddings, optim_state, on_done = self._jobs.popleft()
+                (
+                    key, embeddings, optim_state, dirty_rows, on_done,
+                ) = self._jobs.popleft()
             try:
-                self.storage.save(key[0], key[1], embeddings, optim_state)
+                if dirty_rows is None:
+                    self.storage.save(key[0], key[1], embeddings, optim_state)
+                else:
+                    self.storage.save(
+                        key[0], key[1], embeddings, optim_state,
+                        dirty_rows=dirty_rows,
+                    )
                 if on_done is not None:
                     on_done()
             except BaseException as exc:  # surfaced on the caller side
@@ -306,6 +337,9 @@ class _CacheEntry:
     #: backing store (async write, budget eviction, or flush); the
     #: distributed trainer uses it to commit partition locks.
     on_flushed: "Callable[[], None] | None" = None
+    #: row indices modified since fetch (delta writeback hint); None
+    #: means unknown → full write
+    dirty_rows: "np.ndarray | None" = None
 
     @property
     def nbytes(self) -> int:
@@ -372,6 +406,7 @@ class PartitionCache:
         optim_state: np.ndarray,
         dirty: bool,
         on_flushed: "Callable[[], None] | None" = None,
+        dirty_rows: "np.ndarray | None" = None,
     ) -> None:
         """Insert a partition as most-recently-used.
 
@@ -382,11 +417,15 @@ class PartitionCache:
         the backing store — whether by background write, budget
         eviction, or :meth:`flush_dirty`; callers must not re-insert a
         key whose previous entry is still cached dirty, or the old
-        callback may fire for superseded bytes.
+        callback may fire for superseded bytes. ``dirty_rows`` (dirty
+        inserts only) is the set of row indices modified since the
+        partition was fetched, forwarded to delta-capable backends.
         """
         key = (entity_type, part)
         entry = _CacheEntry(
-            embeddings, optim_state, dirty, on_flushed if dirty else None
+            embeddings, optim_state, dirty,
+            on_flushed if dirty else None,
+            dirty_rows if dirty else None,
         )
         with self._lock:
             self._entries.pop(key, None)
@@ -415,6 +454,7 @@ class PartitionCache:
         self.writeback.submit(
             key[0], key[1], entry.embeddings, entry.optim_state,
             lambda: self._landed(key, entry),
+            dirty_rows=entry.dirty_rows,
         )
 
     def take(
@@ -478,8 +518,24 @@ class PartitionCache:
             ]
         for key, entry in dirty:
             if self.writeback is not None:
-                if not self.writeback.is_pending(key[0], key[1]):
-                    self._submit_writeback(key, entry)
+                # An entry from the snapshot may have gone clean since:
+                # its in-flight write landed, or another flusher got
+                # here first. Re-pushing it would persist (and, on a
+                # versioned backend, re-version) bytes that already
+                # landed, so re-check under the lock. Ordering makes
+                # this sound: the writer thread runs on_done (which
+                # flips dirty under this lock) *before* decrementing
+                # the pending count, so pending==0 with dirty still
+                # True means no write for these bytes was ever in
+                # flight. is_pending is checked outside the lock —
+                # _landed needs the lock to flip the bit, and holding
+                # it here would deadlock the writer thread.
+                if self.writeback.is_pending(key[0], key[1]):
+                    continue
+                with self._lock:
+                    if not entry.dirty or self._entries.get(key) is not entry:
+                        continue
+                self._submit_writeback(key, entry)
             else:
                 self.storage.save(
                     key[0], key[1], entry.embeddings, entry.optim_state
@@ -598,12 +654,15 @@ class PartitionPipeline:
         embeddings: np.ndarray,
         optim_state: np.ndarray,
         on_flushed: "Callable[[], None] | None" = None,
+        dirty_rows: "np.ndarray | None" = None,
     ) -> None:
         """Park an evicted partition dirty; its background write starts
-        immediately and ``on_flushed`` fires once it lands."""
+        immediately and ``on_flushed`` fires once it lands. Passing
+        ``dirty_rows`` lets a delta-capable backend push only the rows
+        modified since the partition was fetched."""
         self.cache.put(
             entity_type, part, embeddings, optim_state,
-            dirty=True, on_flushed=on_flushed,
+            dirty=True, on_flushed=on_flushed, dirty_rows=dirty_rows,
         )
 
     def take(
@@ -684,12 +743,19 @@ class CheckpointStorage:
     - ``metadata.json`` — epoch number and user metadata
     - ``shared.npz`` — relation operator parameters and other globals
     - ``embeddings/`` — a :class:`PartitionedEmbeddingStorage`
+
+    ``codec`` selects the partition codec used when *writing* embedding
+    partitions (shared parameters always stay fp32 — they are tiny and
+    include optimizer state); reads are self-describing, so checkpoints
+    written with any codec load anywhere.
     """
 
-    def __init__(self, root: "str | Path") -> None:
+    def __init__(self, root: "str | Path", codec: str = "none") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.partitions = PartitionedEmbeddingStorage(self.root / "embeddings")
+        self.partitions = PartitionedEmbeddingStorage(
+            self.root / "embeddings", codec=codec
+        )
 
     # -- config -------------------------------------------------------
 

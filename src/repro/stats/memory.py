@@ -18,6 +18,7 @@ import tracemalloc
 from dataclasses import dataclass
 
 from repro.config import ConfigSchema
+from repro.graph import compression
 from repro.graph.entity_storage import EntityStorage
 
 __all__ = ["MemoryModel", "measure_peak_tracemalloc"]
@@ -38,6 +39,35 @@ class MemoryModel:
     def embedding_row_bytes(self) -> int:
         """Bytes per embedding row including row-Adagrad state."""
         return self.config.dimension * _FLOAT_BYTES + _ROW_STATE_BYTES
+
+    # -- wire / disk bytes under the configured partition codec --------
+
+    def _codec(self, codec: "str | None") -> str:
+        return self.config.partition_compression if codec is None else codec
+
+    def embedding_row_wire_bytes(self, codec: "str | None" = None) -> int:
+        """Encoded bytes per row on the wire / on disk (embedding +
+        per-row codec metadata + fp32 optimizer state); defaults to the
+        config's ``partition_compression``."""
+        return compression.get_codec(self._codec(codec)).row_nbytes(
+            self.config.dimension
+        )
+
+    def partition_wire_bytes(
+        self, entity_type: str, part: int, codec: "str | None" = None
+    ) -> int:
+        """Encoded bytes of one full partition transfer."""
+        return compression.wire_nbytes(
+            self._codec(codec),
+            self.entities.part_size(entity_type, part),
+            self.config.dimension,
+        )
+
+    def compression_ratio(self, codec: "str | None" = None) -> float:
+        """fp32 row bytes over encoded row bytes (>= 1.0)."""
+        return self.embedding_row_bytes() / self.embedding_row_wire_bytes(
+            codec
+        )
 
     def total_model_bytes(self) -> int:
         """Full model: every entity row + shared parameters."""

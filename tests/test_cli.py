@@ -181,3 +181,59 @@ class TestTrainEvalExport:
             "--edges", str(test_path), "--candidates", "20",
         ])
         assert rc == 0
+
+
+class TestCompressionFlags:
+    def test_compressed_partitioned_training(self, workspace, capsys):
+        """--partition-compression applies to the single-machine swap
+        and checkpoint storage: the partition files on disk must carry
+        the int8 codec marker (self-describing format)."""
+        tmp_path, config_path, train_path, _ = workspace
+        config = ConfigSchema.from_json(config_path.read_text()).replace(
+            entities={"node": EntitySchema(num_partitions=2)},
+            num_epochs=2,
+        )
+        p2 = tmp_path / "config2.json"
+        p2.write_text(config.to_json())
+        rc = main([
+            "train", "--config", str(p2), "--edges", str(train_path),
+            "--checkpoint", str(tmp_path / "cmodel"),
+            "--partition-compression", "int8",
+        ])
+        assert rc == 0
+        assert "done:" in capsys.readouterr().out
+        part_files = sorted((tmp_path / "cmodel").rglob("part-*.npz"))
+        assert part_files
+        for path in part_files:
+            with np.load(path) as payload:
+                assert str(payload["codec"]) == "int8"
+                assert payload["embeddings_q8"].dtype == np.int8
+
+    def test_distributed_wire_summary(self, workspace, capsys):
+        tmp_path, config_path, train_path, _ = workspace
+        config = ConfigSchema.from_json(config_path.read_text()).replace(
+            entities={"node": EntitySchema(num_partitions=4)},
+            num_machines=2,
+            num_epochs=2,
+        )
+        p2 = tmp_path / "config_dist.json"
+        p2.write_text(config.to_json())
+        rc = main([
+            "train", "--config", str(p2), "--edges", str(train_path),
+            "--checkpoint", str(tmp_path / "dmodel"),
+            "--partition-compression", "int8", "--writeback-delta",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wire" in out
+        assert "int8" in out
+
+    def test_unknown_codec_rejected_by_parser(self, workspace, capsys):
+        tmp_path, config_path, train_path, _ = workspace
+        with pytest.raises(SystemExit):
+            main([
+                "train", "--config", str(config_path),
+                "--edges", str(train_path),
+                "--partition-compression", "zstd",
+            ])
+        capsys.readouterr()

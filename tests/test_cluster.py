@@ -290,3 +290,192 @@ class TestProcessMode:
         assert sum(
             m.prefetch_hits + m.prefetch_misses for m in stats.machines
         ) > 0
+
+
+class TestSerialReleaseFetchRace:
+    """Regression for the serial-path release/fetch race: historically
+    the serial protocol released a bucket before pushing its partitions
+    (the push happened lazily at the next swap), so another machine
+    could be granted the partition and fetch stale bytes from the
+    server. Both paths now defer the release and the serial swap
+    commits each partition only after its push lands."""
+
+    def test_foreign_acquire_only_after_push_lands(self, monkeypatch):
+        """Forced interleaving: puts are artificially slow, so any
+        not-deferred release opens a wide window in which another
+        machine's acquire would be granted a partition whose push has
+        not landed. The instrumented lock server checks, at every
+        cross-machine handover, that a completed server put happened
+        *after* the previous holder's release."""
+        import threading
+        import time as time_mod
+
+        from repro.distributed import cluster as cluster_mod
+        from repro.distributed.lock_server import LockServer
+        from repro.distributed.partition_server import PartitionServer
+
+        seq_lock = threading.Lock()
+        seq = [0]
+        last_put_seq: dict = {}
+        release_seq: dict = {}
+        last_holder: dict = {}
+        violations = []
+
+        class SlowPutServer(PartitionServer):
+            def put(self, entity_type, part, embeddings, optim_state):
+                time_mod.sleep(0.003)  # widen the race window
+                version = super().put(
+                    entity_type, part, embeddings, optim_state
+                )
+                with seq_lock:
+                    seq[0] += 1
+                    last_put_seq[part] = seq[0]
+                return version
+
+        class CheckingLockServer(LockServer):
+            def acquire(self, machine):
+                bucket = super().acquire(machine)
+                if bucket is not None:
+                    with seq_lock:
+                        for p in (bucket.lhs, bucket.rhs):
+                            prev = last_holder.get(p)
+                            if prev is None or prev == machine:
+                                continue
+                            # Cross-machine handover: the previous
+                            # holder's push must have landed after its
+                            # release, or we are about to fetch stale
+                            # bytes.
+                            if last_put_seq.get(p, -1) <= release_seq.get(
+                                p, -1
+                            ):
+                                violations.append((machine, p))
+                return bucket
+
+            def release(self, machine, bucket, defer=False):
+                super().release(machine, bucket, defer=defer)
+                with seq_lock:
+                    seq[0] += 1
+                    for p in (bucket.lhs, bucket.rhs):
+                        release_seq[p] = seq[0]
+                        last_holder[p] = machine
+
+        monkeypatch.setattr(cluster_mod, "PartitionServer", SlowPutServer)
+        monkeypatch.setattr(cluster_mod, "LockServer", CheckingLockServer)
+
+        config, entities = _setup(2, 4, num_epochs=3)
+        trainer = DistributedTrainer(config, entities)
+        model, stats = trainer.train(_graph())
+        assert violations == []
+        assert sum(m.buckets_trained for m in stats.machines) == 3 * 16
+        assert np.isfinite(model.global_embeddings("node")).all()
+
+    def test_serial_two_machine_quality_survives_contention(self):
+        """With the race closed, contended serial training must stay
+        aligned with the single-machine space (this was the observable
+        symptom of fetching stale partitions: silent quality loss)."""
+        edges = _graph()
+        mrrs = {}
+        for m in (1, 2):
+            config, entities = _setup(m, 4, num_epochs=6, seed=3)
+            trainer = DistributedTrainer(config, entities)
+            model, _ = trainer.train(edges)
+            ev = LinkPredictionEvaluator(model)
+            mrrs[m] = ev.evaluate(
+                edges[:600], num_candidates=100,
+                rng=np.random.default_rng(0),
+            ).mrr
+        assert mrrs[1] > 0.3
+        assert mrrs[2] > 0.6 * mrrs[1]
+
+
+class TestCompressedTransport:
+    def test_uncompressed_delta_serial_bit_identical(self):
+        """writeback_delta with codec none is exact: pushing only the
+        dirty rows over a current baseline reconstructs the partition
+        bit-for-bit, so the whole run must match the plain serial path."""
+        edges = _graph()
+        models = {}
+        for delta in (False, True):
+            config, entities = _setup(1, 4, writeback_delta=delta)
+            trainer = DistributedTrainer(config, entities)
+            models[delta], stats = trainer.train(edges)
+        np.testing.assert_array_equal(
+            models[False].global_embeddings("node"),
+            models[True].global_embeddings("node"),
+        )
+        for p in range(4):
+            np.testing.assert_array_equal(
+                models[False].get_table("node", p).optimizer.state,
+                models[True].get_table("node", p).optimizer.state,
+            )
+
+    def test_uncompressed_delta_pipelined_bit_identical(self):
+        """Same oracle through the pipelined path (async writeback
+        carrying dirty-row hints)."""
+        edges = _graph()
+        models = {}
+        for delta in (False, True):
+            config, entities = _setup(
+                1, 4, pipeline=True, writeback_delta=delta
+            )
+            trainer = DistributedTrainer(config, entities)
+            models[delta], _ = trainer.train(edges)
+        np.testing.assert_array_equal(
+            models[False].global_embeddings("node"),
+            models[True].global_embeddings("node"),
+        )
+
+    def test_wire_stats_populated(self):
+        config, entities = _setup(
+            2, 4, partition_compression="int8", writeback_delta=True
+        )
+        trainer = DistributedTrainer(config, entities)
+        _, stats = trainer.train(_graph())
+        for m in stats.machines:
+            assert m.wire_bytes_sent > 0
+            assert m.wire_bytes_received > 0
+            assert m.wire_bytes_saved > 0
+        assert stats.wire_bytes_total > 0
+        assert stats.wire_bytes_saved > 0
+        # The server's own accounting agrees that bytes were saved.
+        assert trainer.partition_server.stats.bytes_saved > 0
+
+    def test_wire_stats_zero_when_uncompressed(self):
+        config, entities = _setup(1, 2, num_epochs=1)
+        trainer = DistributedTrainer(config, entities)
+        _, stats = trainer.train(_graph())
+        m = stats.machines[0]
+        assert m.wire_bytes_sent > 0  # traffic happened...
+        assert m.wire_bytes_saved == 0  # ...but nothing was compressed
+        assert m.delta_pushes == 0
+
+    def test_int8_transport_quality_sanity(self):
+        """Per-row symmetric int8 on partition transfers must not
+        meaningfully degrade link-prediction quality."""
+        edges = _graph()
+        mrrs = {}
+        for codec in ("none", "int8"):
+            config, entities = _setup(
+                1, 4, num_epochs=6, seed=1, partition_compression=codec
+            )
+            trainer = DistributedTrainer(config, entities)
+            model, _ = trainer.train(edges)
+            ev = LinkPredictionEvaluator(model)
+            mrrs[codec] = ev.evaluate(
+                edges[:600], num_candidates=100,
+                rng=np.random.default_rng(0),
+            ).mrr
+        assert mrrs["none"] > 0.3
+        assert mrrs["int8"] > 0.7 * mrrs["none"]
+
+    def test_server_hosts_compressed_partitions(self):
+        config, entities = _setup(1, 4, partition_compression="int8")
+        plain_cfg, plain_ents = _setup(1, 4)
+        edges = _graph()
+        t_int8 = DistributedTrainer(config, entities)
+        t_int8.train(edges)
+        t_plain = DistributedTrainer(plain_cfg, plain_ents)
+        t_plain.train(edges)
+        assert sum(t_int8.partition_server.shard_nbytes()) < 0.5 * sum(
+            t_plain.partition_server.shard_nbytes()
+        )

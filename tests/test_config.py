@@ -189,3 +189,26 @@ class TestConfigSchema:
     def test_bad_bucket_order(self):
         with pytest.raises(ValueError, match="bucket_order"):
             _minimal(bucket_order="spiral")
+
+
+class TestPartitionCompressionConfig:
+    def test_defaults(self):
+        cfg = _minimal()
+        assert cfg.partition_compression == "none"
+        assert cfg.writeback_delta is False
+
+    def test_valid_codecs_accepted(self):
+        for name in ("none", "fp16", "int8"):
+            assert _minimal(
+                partition_compression=name
+            ).partition_compression == name
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="partition_compression"):
+            _minimal(partition_compression="zstd")
+
+    def test_roundtrips_through_json(self):
+        cfg = _minimal(partition_compression="int8", writeback_delta=True)
+        again = ConfigSchema.from_json(cfg.to_json())
+        assert again.partition_compression == "int8"
+        assert again.writeback_delta is True

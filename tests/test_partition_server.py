@@ -7,9 +7,11 @@ import numpy as np
 import pytest
 
 from repro.distributed.partition_server import (
+    CodecDriftError,
     PartitionServer,
     PartitionServerStorage,
 )
+from repro.graph import compression
 from repro.graph.storage import StorageError
 
 
@@ -227,3 +229,287 @@ class TestPartitionServerStorage:
         store.load("node", 0)
         assert store.saves == 1 and store.loads == 1
         assert store.io_seconds > 0
+
+
+class TestCompressedServer:
+    @pytest.mark.parametrize("codec", ["fp16", "int8"])
+    def test_roundtrip_within_codec_tolerance(self, codec):
+        ps = PartitionServer(2, codec=codec)
+        emb, state = _arrays(n=50, d=16)
+        ps.put("node", 0, emb, state)
+        got_emb, got_state = ps.get("node", 0)
+        np.testing.assert_allclose(got_emb, emb, atol=0.05, rtol=1e-3)
+        # Optimizer state is never quantised.
+        np.testing.assert_array_equal(got_state, state)
+
+    def test_codec_name(self):
+        assert PartitionServer(1).codec_name() == "none"
+        assert PartitionServer(1, codec="int8").codec_name() == "int8"
+
+    def test_wire_bytes_are_encoded_bytes(self):
+        emb, state = _arrays(n=100, d=32)
+        raw = emb.nbytes + state.nbytes
+        ps = PartitionServer(1, codec="int8")
+        ps.put("node", 0, emb, state)
+        encoded = compression.wire_nbytes("int8", 100, 32)
+        assert ps.stats.bytes_received == encoded
+        assert ps.stats.bytes_saved == raw - encoded
+        ps.get("node", 0)
+        assert ps.stats.bytes_sent == encoded
+        assert ps.stats.bytes_saved == 2 * (raw - encoded)
+
+    def test_hosted_bytes_shrink(self):
+        emb, state = _arrays(n=500, d=64)
+        plain = PartitionServer(1)
+        packed = PartitionServer(1, codec="int8")
+        plain.put("node", 0, emb, state)
+        packed.put("node", 0, emb, state)
+        assert sum(packed.shard_nbytes()) < 0.35 * sum(plain.shard_nbytes())
+
+    def test_uncompressed_path_bit_identical(self):
+        """codec='none' must be byte-for-byte the legacy fp32 path."""
+        ps = PartitionServer(1, codec="none")
+        emb, state = _arrays(n=30, d=8)
+        ps.put("node", 0, emb, state)
+        got_emb, got_state = ps.get("node", 0)
+        np.testing.assert_array_equal(got_emb, emb)
+        np.testing.assert_array_equal(got_state, state)
+        assert ps.stats.bytes_saved == 0
+
+
+class TestPutDelta:
+    def test_applies_under_current_version(self):
+        ps = PartitionServer(1)
+        emb, state = _arrays(n=20, d=4)
+        v1 = ps.put("node", 0, emb, state)
+        rows = np.array([2, 5], dtype=np.int64)
+        new_emb = np.full((2, 4), 7.0, dtype=np.float32)
+        new_state = np.full(2, 3.0, dtype=np.float32)
+        v2 = ps.put_delta("node", 0, rows, new_emb, new_state, v1)
+        assert v2 == v1 + 1
+        got_emb, got_state = ps.get("node", 0)
+        np.testing.assert_array_equal(got_emb[rows], new_emb)
+        np.testing.assert_array_equal(got_state[rows], new_state)
+        untouched = np.setdiff1d(np.arange(20), rows)
+        np.testing.assert_array_equal(got_emb[untouched], emb[untouched])
+        assert ps.stats.delta_puts == 1
+
+    def test_stale_delta_rejected(self):
+        ps = PartitionServer(1)
+        emb, state = _arrays(n=10, d=4)
+        v1 = ps.put("node", 0, emb, state)
+        ps.put("node", 0, *_arrays(9, n=10))  # another machine pushes
+        rows = np.array([0], dtype=np.int64)
+        assert (
+            ps.put_delta("node", 0, rows, emb[rows], state[rows], v1)
+            is None
+        )
+        assert ps.stats.delta_stale == 1
+        assert ps.stats.delta_puts == 0
+
+    def test_delta_against_missing_key_rejected(self):
+        ps = PartitionServer(1)
+        rows = np.array([0], dtype=np.int64)
+        assert (
+            ps.put_delta(
+                "node", 0, rows,
+                np.zeros((1, 4), np.float32), np.zeros(1, np.float32), 0,
+            )
+            is None
+        )
+        assert ps.stats.delta_stale == 1
+
+    def test_delta_charges_only_delta_bytes(self):
+        ps = PartitionServer(1)
+        emb, state = _arrays(n=100, d=16)
+        v1 = ps.put("node", 0, emb, state)
+        before = ps.stats.bytes_received
+        rows = np.array([1, 2, 3], dtype=np.int64)
+        ps.put_delta("node", 0, rows, emb[rows], state[rows], v1)
+        assert (
+            ps.stats.bytes_received - before
+            == compression.delta_wire_nbytes("none", 3, 16)
+        )
+
+    def test_delta_bit_identical_under_none_codec(self):
+        """Untouched rows pass through an encode→decode→encode cycle
+        under codec none — they must come back bit-exact."""
+        ps = PartitionServer(1)
+        emb, state = _arrays(n=50, d=8)
+        v1 = ps.put("node", 0, emb, state)
+        rows = np.array([10], dtype=np.int64)
+        ps.put_delta(
+            "node", 0, rows,
+            np.ones((1, 8), np.float32), np.ones(1, np.float32), v1,
+        )
+        got_emb, got_state = ps.get("node", 0)
+        untouched = np.setdiff1d(np.arange(50), rows)
+        np.testing.assert_array_equal(got_emb[untouched], emb[untouched])
+        np.testing.assert_array_equal(got_state[untouched], state[untouched])
+
+    def test_delta_stable_under_int8(self):
+        """Repeated deltas against an int8 server must not drift
+        untouched rows (requantisation is idempotent)."""
+        ps = PartitionServer(1, codec="int8")
+        emb, state = _arrays(n=30, d=8)
+        v = ps.put("node", 0, emb, state)
+        baseline, _ = ps.get("node", 0)
+        for i in range(5):
+            rows = np.array([i], dtype=np.int64)
+            v = ps.put_delta(
+                "node", 0, rows,
+                np.full((1, 8), float(i), np.float32),
+                np.zeros(1, np.float32), v,
+            )
+        got, _ = ps.get("node", 0)
+        untouched = np.arange(5, 30)
+        np.testing.assert_array_equal(got[untouched], baseline[untouched])
+
+
+class TestDeltaWriteback:
+    def _pair(self, codec="none"):
+        server = PartitionServer(1, codec=codec)
+        return server, PartitionServerStorage(server, use_delta=True)
+
+    def test_partial_dirty_rows_push_delta(self):
+        server, store = self._pair()
+        emb, state = _arrays(n=40, d=4)
+        store.save("node", 0, emb, state)  # first push is always full
+        emb2 = emb.copy()
+        dirty = np.array([3, 17], dtype=np.int64)
+        emb2[dirty] += 1.0
+        store.save("node", 0, emb2, state, dirty_rows=dirty)
+        assert store.delta_pushes == 1
+        got, _ = store.load("node", 0)
+        np.testing.assert_array_equal(got, emb2)
+
+    def test_zero_dirty_rows_skip_transfer(self):
+        server, store = self._pair()
+        emb, state = _arrays(n=10, d=4)
+        store.save("node", 0, emb, state)
+        sent_before = store.bytes_sent
+        store.save(
+            "node", 0, emb, state, dirty_rows=np.array([], dtype=np.int64)
+        )
+        assert store.delta_skips == 1
+        assert store.bytes_sent == sent_before
+        assert server.stats.puts == 1  # no second transfer reached the server
+
+    def test_zero_dirty_rows_with_stale_baseline_full_push(self):
+        """'Nothing changed locally' is not enough — if another machine
+        moved the server copy, skipping would *lose our rows*; must push."""
+        server, store = self._pair()
+        other = PartitionServerStorage(server)
+        emb, state = _arrays(n=10, d=4)
+        store.save("node", 0, emb, state)
+        other.save("node", 0, *_arrays(5, n=10))
+        store.save(
+            "node", 0, emb, state, dirty_rows=np.array([], dtype=np.int64)
+        )
+        assert store.delta_skips == 0
+        got, _ = store.load("node", 0)
+        np.testing.assert_array_equal(got, emb)
+
+    def test_stale_delta_degrades_to_full_push(self):
+        server, store = self._pair()
+        other = PartitionServerStorage(server)
+        emb, state = _arrays(n=20, d=4)
+        store.save("node", 0, emb, state)
+        other.save("node", 0, *_arrays(5, n=20))  # invalidates our baseline
+        emb2 = emb.copy()
+        dirty = np.array([1], dtype=np.int64)
+        emb2[dirty] += 1.0
+        store.save("node", 0, emb2, state, dirty_rows=dirty)
+        assert store.delta_fallbacks == 1
+        assert store.delta_pushes == 0
+        got, _ = store.load("node", 0)
+        np.testing.assert_array_equal(got, emb2)
+        assert server.stats.delta_stale == 1
+
+    def test_all_rows_dirty_full_push(self):
+        server, store = self._pair()
+        emb, state = _arrays(n=8, d=4)
+        store.save("node", 0, emb, state)
+        store.save(
+            "node", 0, emb, state, dirty_rows=np.arange(8, dtype=np.int64)
+        )
+        assert store.delta_pushes == 0
+        assert server.stats.puts == 2
+
+    def test_delta_disabled_always_full_push(self):
+        server = PartitionServer(1)
+        store = PartitionServerStorage(server)  # use_delta=False
+        emb, state = _arrays(n=8, d=4)
+        store.save("node", 0, emb, state)
+        store.save(
+            "node", 0, emb, state, dirty_rows=np.array([1], dtype=np.int64)
+        )
+        assert server.stats.puts == 2
+        assert store.delta_pushes == 0
+
+    def test_adapter_wire_counters(self):
+        server, store = self._pair(codec="int8")
+        emb, state = _arrays(n=100, d=16)
+        store.save("node", 0, emb, state)
+        full = compression.wire_nbytes("int8", 100, 16)
+        raw = compression.wire_nbytes("none", 100, 16)
+        assert store.bytes_sent == full
+        assert store.bytes_saved == raw - full
+        dirty = np.array([1, 2], dtype=np.int64)
+        emb2 = emb.copy()
+        emb2[dirty] += 1.0
+        store.save("node", 0, emb2, state, dirty_rows=dirty)
+        assert store.delta_pushes == 1
+        assert (
+            store.bytes_sent
+            == full + compression.delta_wire_nbytes("int8", 2, 16)
+        )
+        store.load("node", 0)
+        assert store.bytes_received == full
+
+
+class TestCodecDriftGuard:
+    def test_drifted_dtype_raises(self):
+        server = PartitionServer(1)
+        store = PartitionServerStorage(server)
+        server.put("node", 0, *_arrays())
+
+        def bad_get_versioned(entity_type, part):
+            emb, state, v = PartitionServer.get_versioned(
+                server, entity_type, part
+            )
+            return emb.astype(np.float16), state, v
+
+        store.server = type(
+            "Proxy", (), {
+                "get_versioned": staticmethod(bad_get_versioned),
+                "codec_name": staticmethod(server.codec_name),
+            },
+        )()
+        with pytest.raises(CodecDriftError, match="float16"):
+            store.load("node", 0)
+
+    def test_drifted_state_shape_raises(self):
+        server = PartitionServer(1)
+        store = PartitionServerStorage(server)
+        server.put("node", 0, *_arrays(n=10))
+
+        def bad_get_versioned(entity_type, part):
+            emb, state, v = PartitionServer.get_versioned(
+                server, entity_type, part
+            )
+            return emb, state[:-1], v
+
+        store.server = type(
+            "Proxy", (), {
+                "get_versioned": staticmethod(bad_get_versioned),
+                "codec_name": staticmethod(server.codec_name),
+            },
+        )()
+        with pytest.raises(CodecDriftError, match="optimizer"):
+            store.load("node", 0)
+
+    def test_drift_is_not_a_storage_error(self):
+        """StorageError means 'partition absent, initialise it' to every
+        consumer; drift must never be masked as that."""
+        assert not issubclass(CodecDriftError, StorageError)

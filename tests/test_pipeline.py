@@ -416,3 +416,94 @@ class TestMemoryModel:
             piped_stats.peak_resident_bytes
             >= serial_stats.peak_resident_bytes
         )
+
+
+class TestFlushDirtyRace:
+    """flush_dirty vs the concurrent land of an already-submitted write:
+    the flusher must never re-push a partition whose dirty bit was (or
+    is about to be) cleared by the write landing — on a versioned
+    backend a double push re-versions bytes that already landed,
+    invalidating every other machine's delta baseline."""
+
+    def test_flush_skips_entry_with_write_in_flight(self, tmp_path):
+        """Snapshot sees the entry dirty while its insert-time write is
+        still queued: flush must not submit a second write."""
+
+        class GatedStorage(PartitionedEmbeddingStorage):
+            def __init__(self, root):
+                super().__init__(root)
+                self.gate = threading.Event()
+                self.completed = 0
+
+            def save(self, *args, **kwargs):
+                self.gate.wait(5.0)
+                super().save(*args, **kwargs)
+                self.completed += 1
+
+        store = GatedStorage(tmp_path / "swap")
+        wb = WritebackQueue(store)
+        cache = PartitionCache(store, writeback=wb)
+        w = np.ones((4, 2), np.float32)
+        s = np.ones(4, np.float32)
+        cache.put("node", 0, w, s, dirty=True)  # write queued, gated
+        cache.flush_dirty()  # dirty + pending → must skip, not re-push
+        cache.flush_dirty()  # and again, from a second flusher
+        store.gate.set()
+        wb.drain()
+        assert store.completed == 1
+        wb.close()
+
+    def test_flush_skips_entry_cleaned_between_snapshot_and_submit(
+        self, tmp_path
+    ):
+        """The lock-scoped interleaving: flush's snapshot sees dirty,
+        is_pending already reads False, but the landing write flips the
+        bit before flush reaches its re-check — the re-check under the
+        cache lock must catch it and skip."""
+        store = PartitionedEmbeddingStorage(tmp_path / "swap")
+        wb = WritebackQueue(store)
+        cache = PartitionCache(store, writeback=wb)
+        w = np.ones((4, 2), np.float32)
+        s = np.ones(4, np.float32)
+        cache.put("node", 0, w, s, dirty=True)
+        wb.drain()
+        entry = cache._entries[("node", 0)]
+        entry.dirty = True  # re-arm so flush's snapshot includes it
+
+        def is_pending_then_land(entity_type, part):
+            # Simulate the concurrent commit landing exactly in the
+            # window between the snapshot and the re-check.
+            cache._landed((entity_type, part), entry)
+            return False
+
+        wb.is_pending = is_pending_then_land
+        submitted = []
+        wb.submit = lambda *a, **kw: submitted.append(a)
+        cache.flush_dirty()
+        assert submitted == []  # guard caught the cleared bit
+        wb.submit = WritebackQueue.submit.__get__(wb)
+        wb.is_pending = WritebackQueue.is_pending.__get__(wb)
+        wb.close()
+
+    def test_no_double_version_on_server_backend(self, tmp_path):
+        """End-to-end on the versioned backend: insert + flush + drain
+        must land exactly one server version, or every other machine's
+        delta baseline is spuriously invalidated."""
+        from repro.distributed.partition_server import (
+            PartitionServer,
+            PartitionServerStorage,
+        )
+
+        server = PartitionServer(1)
+        backend = PartitionServerStorage(server)
+        wb = WritebackQueue(backend)
+        cache = PartitionCache(backend, writeback=wb)
+        w = np.ones((4, 2), np.float32)
+        s = np.ones(4, np.float32)
+        cache.put("node", 0, w, s, dirty=True)
+        cache.flush_dirty()
+        wb.drain()
+        cache.flush_dirty()  # entry is clean now; nothing to do
+        wb.drain()
+        assert server.version("node", 0) == 1
+        wb.close()

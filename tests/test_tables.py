@@ -118,3 +118,29 @@ class TestFeaturizedEmbeddingTable:
             lr=0.1,
         )
         np.testing.assert_allclose(t.feature_weights, before)
+
+
+class TestDirtyRowTracking:
+    def test_fresh_table_has_no_dirty_rows(self):
+        t = DenseEmbeddingTable.create(5, 3, np.random.default_rng(0))
+        assert len(t.dirty_row_indices()) == 0
+
+    def test_apply_gradients_marks_rows(self):
+        t = DenseEmbeddingTable.create(8, 3, np.random.default_rng(0))
+        t.apply_gradients(
+            np.asarray([2, 5]), np.ones((2, 3), np.float32), lr=0.1
+        )
+        np.testing.assert_array_equal(t.dirty_row_indices(), [2, 5])
+
+    def test_duplicate_rows_marked_once(self):
+        t = DenseEmbeddingTable.create(6, 2, np.random.default_rng(0))
+        t.apply_gradients(
+            np.asarray([1, 1, 4]), np.ones((3, 2), np.float32), lr=0.1
+        )
+        np.testing.assert_array_equal(t.dirty_row_indices(), [1, 4])
+
+    def test_marks_accumulate_across_calls(self):
+        t = DenseEmbeddingTable.create(6, 2, np.random.default_rng(0))
+        t.apply_gradients(np.asarray([0]), np.ones((1, 2), np.float32), 0.1)
+        t.apply_gradients(np.asarray([3]), np.ones((1, 2), np.float32), 0.1)
+        np.testing.assert_array_equal(t.dirty_row_indices(), [0, 3])

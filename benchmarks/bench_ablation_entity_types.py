@@ -21,7 +21,7 @@ win decisively.
 import numpy as np
 import pytest
 
-from benchmarks.common import eval_ranking, train_single
+from benchmarks.common import train_single
 from benchmarks.conftest import report_table
 from repro.config import ConfigSchema, EntitySchema, RelationSchema
 from repro.datasets import user_item_graph

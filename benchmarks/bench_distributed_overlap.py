@@ -64,6 +64,8 @@ from repro.graph.edgelist import EdgeList
 from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import partition_entities
 
+from common import provenance
+
 NPARTS = 4
 
 #: (mode name, pipeline, codec, delta)
@@ -232,6 +234,7 @@ def main(argv=None) -> int:
         "uncompressed_bit_identical": identical,
         "compressed_mean_row_cosine": cosine,
     }
+    report["provenance"] = provenance(report["params"])
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"results written to {args.json}")

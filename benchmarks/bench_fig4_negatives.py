@@ -14,7 +14,6 @@ roughly linearly.
 
 import time
 
-import numpy as np
 import pytest
 
 from benchmarks.common import social_config, train_single

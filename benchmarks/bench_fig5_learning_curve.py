@@ -18,7 +18,6 @@ from benchmarks.common import (
     eval_ranking,
     livejournal_splits,
     social_config,
-    train_single,
 )
 from benchmarks.conftest import report_figure, report_table
 from repro.baselines import MILE, DeepWalk, embeddings_to_model

@@ -9,7 +9,6 @@ We run the distributed trainer in process mode and record the
 coordinator's per-epoch evaluations.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.common import (

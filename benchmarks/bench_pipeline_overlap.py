@@ -58,6 +58,8 @@ from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import partition_entities
 from repro.graph.storage import PartitionedEmbeddingStorage
 
+from common import provenance
+
 NPARTS = 4
 
 
@@ -240,6 +242,7 @@ def main(argv=None) -> int:
         "int8_disk_shrink": shrink,
         "int8_mean_row_cosine": cosine,
     }
+    report["provenance"] = provenance(report["params"])
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"results written to {args.json}")

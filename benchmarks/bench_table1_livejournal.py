@@ -13,7 +13,6 @@ of DeepWalk's (one embedding matrix + scalar Adagrad state vs two
 matrices + state).
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.common import (

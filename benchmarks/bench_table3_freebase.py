@@ -21,7 +21,6 @@ Evaluation follows Section 5.4.2: candidates sampled by training-data
 prevalence (scaled from the paper's 10 000 to 1 000), raw metrics.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.common import (
@@ -58,7 +57,7 @@ def _config(nparts=1, machines=1):
 
 
 def _kg_cfg(nparts, machines=1):
-    from repro.config import EntitySchema, RelationSchema
+    from repro.config import EntitySchema
 
     kg, *_ = freebase_splits()
     return kg_config(kg.num_relations, operator="translation").replace(

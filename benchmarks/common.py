@@ -9,6 +9,10 @@ so sweeps over partitions/machines reuse one graph.
 from __future__ import annotations
 
 import functools
+import hashlib
+import json
+import subprocess
+from pathlib import Path
 
 import numpy as np
 
@@ -28,6 +32,48 @@ from repro.eval.ranking import LinkPredictionEvaluator
 from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import partition_entities
 from repro.graph.storage import PartitionedEmbeddingStorage
+
+# ----------------------------------------------------------------------
+# Provenance
+# ----------------------------------------------------------------------
+
+
+def provenance(params: dict) -> dict:
+    """Commit hash + config fingerprint for a ``BENCH_*.json`` report.
+
+    Every benchmark stamps this into its report so the per-PR perf
+    trajectory is attributable to an exact code revision and parameter
+    set: two reports are comparable iff their ``config_fingerprint``
+    matches. Outside a git checkout (tarball, CI cache) the commit
+    fields degrade to None rather than failing the benchmark.
+    """
+    commit = None
+    dirty = None
+    try:
+        repo_dir = Path(__file__).resolve().parent
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=repo_dir,
+        )
+        if out.returncode == 0:
+            commit = out.stdout.strip()
+            status = subprocess.run(
+                ["git", "status", "--porcelain"],
+                capture_output=True, text=True, timeout=10, cwd=repo_dir,
+            )
+            if status.returncode == 0:
+                dirty = bool(status.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        pass
+    fingerprint = hashlib.sha256(
+        json.dumps(params, sort_keys=True, default=str).encode()
+    ).hexdigest()[:16]
+    return {
+        "git_commit": commit,
+        "git_dirty": dirty,
+        "config_fingerprint": fingerprint,
+    }
+
 
 # ----------------------------------------------------------------------
 # Datasets (cached; one instance per suite run)

@@ -23,7 +23,7 @@ described by one object that can be checkpointed alongside the model.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Any, Mapping, Sequence
 
 __all__ = [

@@ -28,12 +28,7 @@ from repro.core.losses import make_loss
 from repro.core.negatives import sample_pool, sample_unbatched
 from repro.core.operators import make_operator
 from repro.core.optimizers import DenseAdagrad
-from repro.core.tables import (
-    DenseEmbeddingTable,
-    EmbeddingTable,
-    FeaturizedEmbeddingTable,
-    init_embeddings,
-)
+from repro.core.tables import DenseEmbeddingTable, EmbeddingTable
 from repro.graph.entity_storage import EntityStorage
 
 __all__ = ["EmbeddingModel", "ChunkStats"]

@@ -215,8 +215,8 @@ class Trainer:
         # Pipelined-mode machinery; built per training run. The same
         # PartitionPipeline subsystem backs the distributed trainer
         # (with a partition-server backend instead of disk).
-        self._pipeline_active = False
-        self._pipeline: PartitionPipeline | None = None
+        self._pipeline_active = False  # owned-by: main
+        self._pipeline: PartitionPipeline | None = None  # owned-by: main
 
     # ------------------------------------------------------------------
     # Public API

@@ -94,6 +94,7 @@ import multiprocessing as mp
 import queue as queue_mod
 import threading
 import time
+import traceback
 from dataclasses import dataclass, field
 from multiprocessing.managers import BaseManager
 from typing import Callable
@@ -267,7 +268,7 @@ class _PartitionCommitter:
         self._lock_server = lock_server
         self._machine = machine
         self._lock = threading.Lock()
-        self._pending: "dict[int, int]" = {}
+        self._pending: "dict[int, int]" = {}  # guarded-by: _lock
 
     def expect(self, part: int) -> None:
         with self._lock:
@@ -438,10 +439,17 @@ def _machine_main(
         mstats.delta_fallbacks = backend.delta_fallbacks
         result_queue.put(("ok", mstats))
     except BaseException as exc:
+        # Abort first so peers (and the coordinator) fall out of their
+        # barrier waits instead of hanging until the timeout; then ship
+        # the full traceback — repr(exc) alone made cluster failures
+        # undebuggable from the coordinator side.
+        tb = traceback.format_exc()
         try:
             barrier.abort()
         finally:
-            result_queue.put(("error", repr(exc)))
+            result_queue.put(
+                ("error", f"machine {ctx.machine}: {exc!r}\n{tb}")
+            )
     finally:
         if pipe is not None:
             try:
@@ -785,6 +793,7 @@ class DistributedTrainer:
         epoch_start = start
         for w in workers:
             w.start()
+        barrier_broken = False
         try:
             for epoch in range(self.config.num_epochs):
                 barrier.wait(_BARRIER_TIMEOUT)  # workers hit epoch end
@@ -795,7 +804,7 @@ class DistributedTrainer:
                 epoch_start = time.perf_counter()
                 barrier.wait(_BARRIER_TIMEOUT)  # release next epoch
         except threading.BrokenBarrierError:
-            pass  # a worker failed; surface its error below
+            barrier_broken = True  # a worker failed; surface below
         except Exception:
             barrier.abort()
             raise
@@ -818,6 +827,18 @@ class DistributedTrainer:
             if manager is not None:
                 manager.shutdown()
             raise RuntimeError(f"machine failure(s): {errors}")
+        if barrier_broken or len(results) < self.num_machines:
+            # The barrier broke (timeout / abort) or a worker never
+            # reported, yet no error result arrived — never pretend the
+            # partial state on the servers is a trained model.
+            if manager is not None:
+                manager.shutdown()
+            stuck = [w.name for w in workers if w.is_alive()]
+            raise RuntimeError(
+                f"cluster run incomplete: {len(results)}/"
+                f"{self.num_machines} machine results"
+                + (f", still running: {stuck}" if stuck else "")
+            )
         stats.machines = sorted(
             (r[1] for r in results), key=lambda m: m.machine
         )

@@ -89,7 +89,7 @@ class _State:
     done_any: bool = False
 
 
-class LockServer:
+class LockServer:  # public-guard: _lock
     """Thread-safe bucket scheduler over a partition grid.
 
     Partitions are treated symmetrically (the common case of one
@@ -108,12 +108,12 @@ class LockServer:
             for j in range(nparts_rhs)
         ]
         self._lock = threading.Lock()
-        self.stats = LockServerStats()
+        self.stats = LockServerStats()  # guarded-by: _lock
         # Per-machine previous bucket (affinity) and outstanding advisory
         # reservation; both survive epoch resets.
-        self._prev: "dict[int, Bucket]" = {}
-        self._reserved: "dict[int, Bucket]" = {}
-        self._state = _State(remaining=set(self._all_buckets))
+        self._prev: "dict[int, Bucket]" = {}  # guarded-by: _lock
+        self._reserved: "dict[int, Bucket]" = {}  # guarded-by: _lock
+        self._state = _State(remaining=set(self._all_buckets))  # guarded-by: _lock
 
     # ------------------------------------------------------------------
 

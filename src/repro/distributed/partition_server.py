@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis import hooks
 from repro.graph import compression
 from repro.graph.storage import StorageError
 
@@ -102,7 +103,7 @@ def _raw_nbytes(num_rows: int, dim: int) -> int:
     return compression.wire_nbytes("none", num_rows, dim)
 
 
-class PartitionServer:
+class PartitionServer:  # public-guard: lock, _stats_lock
     """Key-value store of partitions, sharded by partition index.
 
     Parameters
@@ -133,12 +134,12 @@ class PartitionServer:
         self._shards = [_Shard() for _ in range(num_shards)]
         self.bandwidth = bandwidth_bytes_per_s
         self._codec = compression.get_codec(codec)
-        self.stats = PartitionServerStats()
+        self.stats = PartitionServerStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
-    def codec_name(self) -> str:
+    def codec_name(self) -> str:  # lint: no-lock
         """Name of the codec this server transfers/stores with (a
         method, not an attribute, so manager proxies can forward it)."""
         return self._codec.name
@@ -269,7 +270,7 @@ class PartitionServer:
         self._account(shard, nbytes, sent=True, saved=raw - nbytes)
         return emb, state, version
 
-    def get(
+    def get(  # lint: no-lock (pure delegation to get_versioned)
         self, entity_type: str, part: int
     ) -> "tuple[np.ndarray, np.ndarray] | None":
         """Fetch a partition copy; None if never stored."""
@@ -311,7 +312,7 @@ class PartitionServer:
         return sizes
 
 
-class PartitionServerStorage:
+class PartitionServerStorage:  # public-guard: _lock
     """Adapts a :class:`PartitionServer` (or its manager proxy) to the
     ``load``/``save`` interface of
     :class:`~repro.graph.storage.PartitionedEmbeddingStorage`, so the
@@ -343,19 +344,31 @@ class PartitionServerStorage:
         self.server = server
         self.use_delta = use_delta
         self._lock = threading.Lock()
-        self._versions: "dict[tuple[str, int], int]" = {}
+        self._versions: "dict[tuple[str, int], int]" = {}  # guarded-by: _lock
         self._codec_name: "str | None" = None
-        self.loads = 0
-        self.saves = 0
-        self.delta_pushes = 0
-        self.delta_fallbacks = 0
-        self.delta_skips = 0
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.bytes_saved = 0
-        self.io_seconds = 0.0
+        self.loads = 0  # guarded-by: _lock
+        self.saves = 0  # guarded-by: _lock
+        self.delta_pushes = 0  # guarded-by: _lock
+        self.delta_fallbacks = 0  # guarded-by: _lock
+        self.delta_skips = 0  # guarded-by: _lock
+        self.bytes_sent = 0  # guarded-by: _lock
+        self.bytes_received = 0  # guarded-by: _lock
+        self.bytes_saved = 0  # guarded-by: _lock
+        self.io_seconds = 0.0  # guarded-by: _lock
+        tracker = hooks.ownership_tracker()
+        if tracker is None:
+            self._owner = None
+        else:
+            self._owner = tracker.register_owner(f"backend-{id(self):x}")
 
-    def codec_name(self) -> str:
+    def _set_pipeline_managed(self) -> None:
+        """A :class:`~repro.graph.storage.PartitionPipeline` in front of
+        this adapter reports ownership transitions itself; stand down so
+        each partition has exactly one reporter
+        (see :mod:`repro.analysis.lockdep`)."""
+        self._owner = None
+
+    def codec_name(self) -> str:  # lint: no-lock (benign once-race on a cache)
         """The server's codec name (fetched once, cached — one manager
         round-trip in process mode)."""
         if self._codec_name is None:
@@ -413,6 +426,8 @@ class PartitionServerStorage:
                 f"state; expected float32 ({len(embeddings)},)"
             )
         self._wire(len(embeddings), embeddings.shape[1], outbound=False)
+        if self._owner is not None:
+            self._owner.resident(entity_type, part, from_cache=False)
         return embeddings, optim_state
 
     def save(
@@ -442,6 +457,8 @@ class PartitionServerStorage:
                     self.io_seconds += time.perf_counter() - t0
                     self.saves += 1
                     self.delta_skips += 1
+                if self._owner is not None:
+                    self._owner.saved(entity_type, part)
                 return
         elif (
             base is not None
@@ -471,6 +488,8 @@ class PartitionServerStorage:
             self.io_seconds += elapsed
             self.saves += 1
             self._versions[key] = version
+        if self._owner is not None:
+            self._owner.saved(entity_type, part)
 
     def is_current(self, entity_type: str, part: int) -> bool:
         """Whether the last version this adapter observed for the

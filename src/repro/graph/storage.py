@@ -42,6 +42,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis import hooks
 from repro.graph import compression
 
 __all__ = [
@@ -161,7 +162,7 @@ class PartitionedEmbeddingStorage:
         )
 
 
-class WritebackQueue:
+class WritebackQueue:  # public-guard: _cv
     """Asynchronous writer for evicted partitions.
 
     A single daemon thread drains a FIFO of ``(entity_type, part,
@@ -189,14 +190,14 @@ class WritebackQueue:
         self.storage = storage
         self.max_pending = max_pending
         self._cv = threading.Condition()
-        self._jobs: deque = deque()
-        self._pending: "dict[tuple[str, int], int]" = {}
-        self._error: BaseException | None = None
-        self._closed = False
+        self._jobs: deque = deque()  # guarded-by: _cv
+        self._pending: "dict[tuple[str, int], int]" = {}  # guarded-by: _cv
+        self._error: BaseException | None = None  # guarded-by: _cv
+        self._closed = False  # guarded-by: _cv
         #: cumulative seconds callers spent blocked on this queue
-        self.stall_seconds = 0.0
+        self.stall_seconds = 0.0  # guarded-by: _cv
         #: completed background writes
-        self.writes = 0
+        self.writes = 0  # guarded-by: _cv
         self._thread = threading.Thread(
             target=self._run, name="partition-writeback", daemon=True
         )
@@ -293,7 +294,7 @@ class WritebackQueue:
 
     # -- writer thread -------------------------------------------------
 
-    def _run(self) -> None:
+    def _run(self) -> None:  # runs-on: writeback
         while True:
             with self._cv:
                 while not self._jobs and not self._closed:
@@ -346,7 +347,7 @@ class _CacheEntry:
         return self.embeddings.nbytes + self.optim_state.nbytes
 
 
-class PartitionCache:
+class PartitionCache:  # public-guard: _lock
     """Byte-budgeted LRU cache of partitions with dirty tracking.
 
     Sits in front of a :class:`PartitionedEmbeddingStorage`. The
@@ -387,14 +388,18 @@ class PartitionCache:
         self.budget_bytes = budget_bytes
         self.writeback = writeback
         self._lock = threading.Lock()
+        # guarded-by: _lock
         self._entries: "OrderedDict[tuple[str, int], _CacheEntry]" = (
             OrderedDict()
         )
         #: partitions served from memory / read synchronously from disk
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
         #: entries dropped to stay under the byte budget
-        self.evictions = 0
+        self.evictions = 0  # guarded-by: _lock
+        #: ownership-harness view (repro.analysis.lockdep), set by the
+        #: owning PartitionPipeline when the harness is active
+        self._owner = None
 
     # ------------------------------------------------------------------
 
@@ -441,6 +446,8 @@ class PartitionCache:
             if self._entries.get(key) is entry:
                 entry.dirty = False
             callback, entry.on_flushed = entry.on_flushed, None
+        if self._owner is not None:
+            self._owner.landed(key[0], key[1])
         if callback is not None:
             callback()
 
@@ -563,7 +570,10 @@ class PartitionCache:
                     ):
                         wait_key = key
                     else:
-                        self.storage.save(
+                        # This save must hold the lock: releasing it
+                        # mid-eviction would let take() hand out arrays
+                        # whose persist is still racing.
+                        self.storage.save(  # lint: allow-blocking
                             key[0], key[1],
                             entry.embeddings, entry.optim_state,
                         )
@@ -571,6 +581,8 @@ class PartitionCache:
                 else:
                     del self._entries[key]
                     self.evictions += 1
+                    if self._owner is not None:
+                        self._owner.dropped(key[0], key[1])
                     continue
             if saved is not None:
                 # Flip clean + fire on_flushed outside the lock, then
@@ -630,9 +642,22 @@ class PartitionPipeline:
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="partition-prefetch"
         )
-        self._futures: "dict[tuple[str, int], object]" = {}
+        self._futures: "dict[tuple[str, int], object]" = {}  # owned-by: main
         #: cache hits invalidated because the backend had newer bytes
-        self.stale_hits = 0
+        self.stale_hits = 0  # owned-by: main
+        tracker = hooks.ownership_tracker()
+        if tracker is None:
+            self._owner = None
+        else:
+            # The pipeline reports ownership transitions at the
+            # cache/pipeline level; tell a transition-reporting backend
+            # (PartitionServerStorage) to stand down so each partition
+            # has exactly one reporter.
+            self._owner = tracker.register_owner(f"pipeline-{id(self):x}")
+            stand_down = getattr(storage, "_set_pipeline_managed", None)
+            if stand_down is not None:
+                stand_down()
+        self.cache._owner = self._owner
 
     # ------------------------------------------------------------------
 
@@ -660,6 +685,8 @@ class PartitionPipeline:
         immediately and ``on_flushed`` fires once it lands. Passing
         ``dirty_rows`` lets a delta-capable backend push only the rows
         modified since the partition was fetched."""
+        if self._owner is not None:
+            self._owner.parked(entity_type, part)
         self.cache.put(
             entity_type, part, embeddings, optim_state,
             dirty=True, on_flushed=on_flushed, dirty_rows=dirty_rows,
@@ -679,12 +706,23 @@ class PartitionPipeline:
             got = self.cache.take(entity_type, part)
             if got is not None:
                 if self.validate is None or self.validate(entity_type, part):
+                    if self._owner is not None:
+                        self._owner.resident(
+                            entity_type, part, from_cache=True
+                        )
                     return got, True
                 self.stale_hits += 1
+                if self._owner is not None:
+                    self._owner.dropped(entity_type, part)
         try:
-            return self.storage.load(entity_type, part), False
+            got = self.storage.load(entity_type, part)
         except StorageError:
-            return None, False
+            got = None
+        if self._owner is not None:
+            # None means the caller initialises the partition; either
+            # way it is resident on the main thread from here.
+            self._owner.resident(entity_type, part, from_cache=False)
+        return got, False
 
     def schedule(self, keys) -> int:
         """Queue background loads for ``keys`` (``(entity_type, part)``
@@ -703,7 +741,7 @@ class PartitionPipeline:
             scheduled += 1
         return scheduled
 
-    def _prefetch_one(self, key: "tuple[str, int]") -> None:
+    def _prefetch_one(self, key: "tuple[str, int]") -> None:  # runs-on: prefetch
         """Prefetch-thread body: one partition, backend → cache, clean.
 
         Never touches the model or any RNG; a partition the backend
@@ -713,6 +751,10 @@ class PartitionPipeline:
             embeddings, optim_state = self.storage.load(*key)
         except StorageError:
             return
+        if self._owner is not None:
+            # Record before the insert: the moment put() returns, the
+            # main thread may legally take the entry resident.
+            self._owner.staged(key[0], key[1])
         self.cache.put(key[0], key[1], embeddings, optim_state, dirty=False)
 
     def drain(self) -> float:
@@ -729,7 +771,7 @@ class PartitionPipeline:
             fut.cancel()
         self._futures = {}
         try:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
         finally:
             self.writeback.close()
 

@@ -1,0 +1,4 @@
+# Deliberately-buggy snippets the concurrency lint must flag; each
+# module seeds exactly one rule violation (see test_lint.py and the CI
+# analysis job, which runs `python -m repro.analysis --expect-findings`
+# over this directory).

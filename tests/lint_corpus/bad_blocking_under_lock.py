@@ -1,0 +1,27 @@
+"""Seeded violation: blocking calls while a lock is held.
+
+The lint must report ``blocking-under-lock`` for the sleep, the backend
+round-trip, and the wait on a foreign condition.
+"""
+
+import threading
+import time
+
+
+class Flusher:
+    def __init__(self, server) -> None:
+        self.server = server
+        self._lock = threading.Lock()
+        self._other_cv = threading.Condition()
+        self._dirty = []  # guarded-by: _lock
+
+    def flush(self) -> None:
+        with self._lock:
+            time.sleep(0.1)  # BAD: sleeping under the lock
+            payload = self.server.get("thing", 0)  # BAD: transfer under lock
+            self._dirty.clear()
+        return payload
+
+    def sync(self) -> None:
+        with self._lock:
+            self._other_cv.wait()  # BAD: waits on an object that is not the held lock

@@ -1,0 +1,23 @@
+"""Seeded violation: a guarded attribute mutated outside its lock.
+
+The lint must report ``guarded-mutation`` for both the unlocked counter
+bump and the unlocked dict store in ``record``.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0  # guarded-by: _lock
+        self._seen = {}  # guarded-by: _lock
+
+    def record(self, key: str) -> None:
+        self.total += 1  # BAD: no lock held
+        self._seen[key] = True  # BAD: no lock held
+
+    def record_locked(self, key: str) -> None:
+        with self._lock:
+            self.total += 1  # fine: lock held
+            self._seen[key] = True

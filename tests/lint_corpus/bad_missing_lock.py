@@ -1,0 +1,20 @@
+"""Seeded violation: a public method of a lock-guarded server class
+that never takes the lock.
+
+The lint must report ``missing-lock`` for ``peek``.
+"""
+
+import threading
+
+
+class TinyServer:  # public-guard: _lock
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._store = {}  # guarded-by: _lock
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._store[key] = value
+
+    def peek(self, key):
+        return self._store.get(key)  # BAD: public read without the lock

@@ -1,0 +1,19 @@
+"""Seeded violation: a thread-confined attribute mutated from the
+wrong thread role.
+
+``_inflight`` belongs to the main thread; the prefetch-thread body
+mutates it. The lint must report ``owned-by-role``.
+"""
+
+
+class Prefetcher:
+    def __init__(self, storage) -> None:
+        self.storage = storage
+        self._inflight = {}  # owned-by: main
+
+    def schedule(self, key) -> None:
+        self._inflight[key] = True  # fine: main-role method
+
+    def _worker(self, key) -> None:  # runs-on: prefetch
+        self.storage.load(key)
+        del self._inflight[key]  # BAD: main-owned state from prefetch thread

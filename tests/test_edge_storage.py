@@ -1,7 +1,6 @@
 """Tests for on-disk bucketed edge storage."""
 
 import numpy as np
-import pytest
 
 from repro.config import ConfigSchema, EntitySchema, RelationSchema
 from repro.graph.edge_storage import BucketedEdgeStorage

@@ -1,0 +1,383 @@
+"""Tests for the static concurrency lint (repro.analysis.lint).
+
+Covers the annotation grammar, each rule on minimal snippets, the
+known-bad corpus under ``tests/lint_corpus/``, the requirement that the
+five annotated production modules stay clean, and the CLI contract the
+CI analysis job relies on.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.__main__ import main as lint_main
+from repro.analysis.lint import check_file, check_source, default_targets
+
+CORPUS = Path(__file__).parent / "lint_corpus"
+
+
+def run(src: str):
+    return check_source(textwrap.dedent(src))
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestGuardedMutation:
+    def test_unlocked_mutation_flagged(self):
+        findings = run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    self.n += 1
+            """
+        )
+        assert rules(findings) == ["guarded-mutation"]
+
+    def test_locked_mutation_clean(self):
+        assert not run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+            """
+        )
+
+    def test_init_is_exempt(self):
+        assert not run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []  # guarded-by: _lock
+                    self.items.append(1)
+            """
+        )
+
+    def test_mutating_method_call_flagged(self):
+        findings = run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []  # guarded-by: _lock
+
+                def add(self, x):
+                    self.items.append(x)
+            """
+        )
+        assert rules(findings) == ["guarded-mutation"]
+
+    def test_subscript_store_flagged(self):
+        findings = run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.d = {}  # guarded-by: _lock
+
+                def put(self, k, v):
+                    self.d[k] = v
+            """
+        )
+        assert rules(findings) == ["guarded-mutation"]
+
+    def test_wrong_lock_held_flagged(self):
+        findings = run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._other_lock = threading.Lock()
+                    self.n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._other_lock:
+                        self.n += 1
+            """
+        )
+        assert rules(findings) == ["guarded-mutation"]
+
+    def test_annotation_on_preceding_line(self):
+        findings = run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    # guarded-by: _lock
+                    self.n = 0
+
+                def bump(self):
+                    self.n += 1
+            """
+        )
+        assert rules(findings) == ["guarded-mutation"]
+
+    def test_unknown_lock_reported(self):
+        findings = run(
+            """
+            class C:
+                def __init__(self):
+                    self.n = 0  # guarded-by: _lock
+            """
+        )
+        assert "unknown-lock" in rules(findings)
+
+    def test_lint_ignore_suppresses(self):
+        assert not run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    self.n += 1  # lint: ignore
+            """
+        )
+
+
+class TestBlockingUnderLock:
+    def test_sleep_under_lock_flagged(self):
+        findings = run(
+            """
+            import threading, time
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def slow(self):
+                    with self._lock:
+                        time.sleep(1)
+            """
+        )
+        assert rules(findings) == ["blocking-under-lock"]
+
+    def test_wait_on_held_condition_is_legal(self):
+        assert not run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._cv = threading.Condition()
+
+                def pause(self):
+                    with self._cv:
+                        self._cv.wait()
+            """
+        )
+
+    def test_dict_get_not_flagged(self):
+        assert not run(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._pending = {}
+
+                def peek(self, k):
+                    with self._lock:
+                        return self._pending.get(k, 0)
+            """
+        )
+
+    def test_allow_blocking_waiver(self):
+        assert not run(
+            """
+            import threading
+
+            class C:
+                def __init__(self, storage):
+                    self._lock = threading.Lock()
+                    self.storage = storage
+
+                def evict(self, k, v):
+                    with self._lock:
+                        self.storage.save(k, v)  # lint: allow-blocking
+            """
+        )
+
+    def test_blocking_after_lock_released_clean(self):
+        assert not run(
+            """
+            import threading, time
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def slow(self):
+                    with self._lock:
+                        pass
+                    time.sleep(1)
+            """
+        )
+
+    def test_deferred_lambda_not_flagged(self):
+        # A lambda built under the lock runs later, without it.
+        assert not run(
+            """
+            import threading, time
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def make(self):
+                    with self._lock:
+                        return lambda: time.sleep(1)
+            """
+        )
+
+
+class TestMissingLock:
+    def test_public_method_without_lock_flagged(self):
+        findings = run(
+            """
+            import threading
+
+            class S:  # public-guard: _lock
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def read(self):
+                    return 1
+            """
+        )
+        assert rules(findings) == ["missing-lock"]
+
+    def test_private_methods_exempt(self):
+        assert not run(
+            """
+            import threading
+
+            class S:  # public-guard: _lock
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def _helper(self):
+                    return 1
+            """
+        )
+
+    def test_no_lock_waiver(self):
+        assert not run(
+            """
+            import threading
+
+            class S:  # public-guard: _lock
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def read(self):  # lint: no-lock
+                    return 1
+            """
+        )
+
+    def test_per_shard_lock_name_matches(self):
+        assert not run(
+            """
+            class S:  # public-guard: lock
+                def __init__(self, shards):
+                    self._shards = shards
+
+                def get(self, k):
+                    shard = self._shards[0]
+                    with shard.lock:
+                        return shard.store[k]
+            """
+        )
+
+
+class TestOwnedByRole:
+    def test_wrong_role_flagged(self):
+        findings = run(
+            """
+            class C:
+                def __init__(self):
+                    self.futures = {}  # owned-by: main
+
+                def _worker(self):  # runs-on: prefetch
+                    self.futures.clear()
+            """
+        )
+        assert rules(findings) == ["owned-by-role"]
+
+    def test_matching_role_clean(self):
+        assert not run(
+            """
+            class C:
+                def __init__(self):
+                    self.futures = {}  # owned-by: main
+
+                def schedule(self):
+                    self.futures["k"] = 1
+            """
+        )
+
+
+class TestCorpusAndProduction:
+    def test_each_corpus_file_is_flagged(self):
+        bad = sorted(CORPUS.glob("bad_*.py"))
+        assert len(bad) >= 4
+        for path in bad:
+            findings = check_file(path)
+            assert findings, f"{path.name} produced no findings"
+            expected_rule = path.stem.removeprefix("bad_").replace("_", "-")
+            assert expected_rule in rules(findings), path.name
+
+    def test_annotated_production_modules_clean(self):
+        for path in default_targets():
+            assert check_file(path) == [], f"{path} is not lint-clean"
+
+    def test_production_modules_carry_annotations(self):
+        # Guard against the annotations being silently deleted: the
+        # lint passing on unannotated files would be vacuous.
+        text = "".join(p.read_text() for p in default_targets())
+        assert text.count("guarded-by:") >= 15
+        assert "public-guard:" in text
+        assert "owned-by:" in text
+
+
+class TestCli:
+    def test_default_run_clean_exit(self):
+        assert lint_main([]) == 0
+
+    def test_corpus_fails(self):
+        bad = [str(p) for p in sorted(CORPUS.glob("bad_*.py"))]
+        assert lint_main(bad) == 1
+
+    def test_expect_findings_inverts(self):
+        bad = [str(p) for p in sorted(CORPUS.glob("bad_*.py"))]
+        assert lint_main(["--expect-findings", *bad]) == 0
+        clean = str(default_targets()[0])
+        assert lint_main(["--expect-findings", clean]) == 1

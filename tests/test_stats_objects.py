@@ -1,6 +1,5 @@
 """Tests for the statistics value objects (training + cluster)."""
 
-import numpy as np
 
 from repro.core.model import ChunkStats
 from repro.core.trainer import EpochStats, TrainingStats

@@ -58,13 +58,16 @@ try:
 except ImportError:  # running as a plain script without PYTHONPATH
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import telemetry
 from repro.config import ConfigSchema, EntitySchema, RelationSchema
 from repro.distributed.cluster import DistributedTrainer
 from repro.graph.edgelist import EdgeList
 from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import partition_entities
 
-from common import provenance
+from repro.telemetry.analyze import analyze_tracer
+
+from common import append_history, provenance
 
 NPARTS = 4
 
@@ -150,6 +153,14 @@ def main(argv=None) -> int:
                         default="BENCH_distributed.json",
                         help="machine-readable results file "
                              "(default BENCH_distributed.json)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export the pipelined mode's Chrome trace "
+                             "here (analyze with python -m "
+                             "repro.telemetry)")
+    parser.add_argument("--history", metavar="PATH",
+                        default="BENCH_history.jsonl",
+                        help="append-only per-commit history file "
+                             "('' to skip)")
     args = parser.parse_args(argv)
     if args.quick:
         args.edges, args.nodes, args.epochs = 8_000, 500, 2
@@ -159,11 +170,25 @@ def main(argv=None) -> int:
     results = {}
     report_modes = {}
     rows = []
+    trace_analysis = None
     for name, pipeline, codec, delta in MODES:
-        wall, stats, emb = run_mode(
-            pipeline, codec, delta, edges, args.nodes, args.epochs,
-            args.bandwidth,
-        )
+        # Trace the pipelined mode (machines are threads here, so all
+        # lanes land in one tracer); serial stays untraced so the
+        # bit-identical gate doubles as the tracing inertness oracle.
+        tracer = telemetry.enable() if name == "pipelined" else None
+        try:
+            wall, stats, emb = run_mode(
+                pipeline, codec, delta, edges, args.nodes, args.epochs,
+                args.bandwidth,
+            )
+        finally:
+            if tracer is not None:
+                telemetry.disable()
+        if tracer is not None:
+            trace_analysis = analyze_tracer(tracer)
+            if args.trace:
+                tracer.export(args.trace)
+                print(f"pipelined-mode trace written to {args.trace}")
         results[name] = (wall, stats, emb)
         m = stats.machines[0]
         swapins = m.prefetch_hits + m.prefetch_misses
@@ -211,6 +236,8 @@ def main(argv=None) -> int:
     identical = np.array_equal(serial_emb, pipe_emb)
     cosine = mean_row_cosine(serial_emb, comp_emb)
     print(f"\npipelined wall-clock reduction vs serial:     {overlap:.1%}")
+    print(f"trace overlap efficiency (transfer hidden under compute): "
+          f"{trace_analysis.overlap_efficiency:.1%}")
     print(f"compressed wall-clock reduction vs pipelined: {further:.1%}")
     print(f"embeddings bit-identical (serial vs pipelined, fp32): "
           f"{identical}")
@@ -233,11 +260,14 @@ def main(argv=None) -> int:
         "compressed_wall_reduction_vs_pipelined": further,
         "uncompressed_bit_identical": identical,
         "compressed_mean_row_cosine": cosine,
+        "trace": trace_analysis.to_dict(),
     }
     report["provenance"] = provenance(report["params"])
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"results written to {args.json}")
+    if args.history:
+        append_history(report, args.history)
 
     if not identical:
         print("FAIL: pipelined embeddings diverge from serial distributed "

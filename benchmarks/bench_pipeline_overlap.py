@@ -49,6 +49,7 @@ try:
 except ImportError:  # running as a plain script without PYTHONPATH
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import telemetry
 from repro.config import single_entity_config
 from repro.core.model import EmbeddingModel
 from repro.core.tables import DenseEmbeddingTable
@@ -58,7 +59,9 @@ from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import partition_entities
 from repro.graph.storage import PartitionedEmbeddingStorage
 
-from common import provenance
+from repro.telemetry.analyze import analyze_tracer
+
+from common import append_history, provenance
 
 NPARTS = 4
 
@@ -152,6 +155,14 @@ def main(argv=None) -> int:
                         default="BENCH_pipeline.json",
                         help="machine-readable results file "
                              "(default BENCH_pipeline.json)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export the pipelined mode's Chrome trace "
+                             "here (analyze with python -m "
+                             "repro.telemetry)")
+    parser.add_argument("--history", metavar="PATH",
+                        default="BENCH_history.jsonl",
+                        help="append-only per-commit history file "
+                             "('' to skip)")
     args = parser.parse_args(argv)
     if args.quick:
         args.edges, args.nodes, args.epochs = 8_000, 500, 2
@@ -166,10 +177,24 @@ def main(argv=None) -> int:
         ("pipelined", True, "none"),
         ("compressed", True, "int8"),
     ]
+    trace_analysis = None
     for name, pipeline, codec in modes:
-        wall, stats, emb, disk = run_mode(
-            pipeline, codec, edges, args.nodes, args.epochs, args.delay
-        )
+        # Trace the pipelined mode: its spans are what the overlap
+        # analyzer consumes. The serial mode stays untraced so the
+        # bit-identical gate doubles as the tracing inertness oracle.
+        tracer = telemetry.enable() if name == "pipelined" else None
+        try:
+            wall, stats, emb, disk = run_mode(
+                pipeline, codec, edges, args.nodes, args.epochs, args.delay
+            )
+        finally:
+            if tracer is not None:
+                telemetry.disable()
+        if tracer is not None:
+            trace_analysis = analyze_tracer(tracer)
+            if args.trace:
+                tracer.export(args.trace)
+                print(f"pipelined-mode trace written to {args.trace}")
         results[name] = (wall, stats, emb, disk)
         train = sum(e.train_time for e in stats.epochs)
         io = sum(e.io_time for e in stats.epochs)
@@ -221,6 +246,8 @@ def main(argv=None) -> int:
     cosine = mean_row_cosine(serial_emb, comp_emb)
     print(f"\nwall-clock reduction: {overlap:.1%} "
           f"(io on critical path: {serial_io:.2f}s -> {pipe_io:.2f}s)")
+    print(f"trace overlap efficiency (transfer hidden under compute): "
+          f"{trace_analysis.overlap_efficiency:.1%}")
     print(f"embeddings bit-identical across fp32 modes: {identical}")
     print(f"int8 swap files vs fp32: {shrink:.1%} of the bytes")
     print(f"int8 embedding drift (mean row cosine vs exact): "
@@ -241,11 +268,14 @@ def main(argv=None) -> int:
         "uncompressed_bit_identical": identical,
         "int8_disk_shrink": shrink,
         "int8_mean_row_cosine": cosine,
+        "trace": trace_analysis.to_dict(),
     }
     report["provenance"] = provenance(report["params"])
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"results written to {args.json}")
+    if args.history:
+        append_history(report, args.history)
 
     if not identical:
         print("FAIL: pipelined embeddings diverge from serial",

@@ -75,6 +75,22 @@ def provenance(params: dict) -> dict:
     }
 
 
+def append_history(
+    report: dict, path: "str | Path" = "BENCH_history.jsonl"
+) -> None:
+    """Append a finished report to the append-only benchmark history.
+
+    One JSON object per line. Unlike the per-run ``BENCH_*.json``
+    snapshot (overwritten every run), the history accumulates, and each
+    line carries the report's provenance block — so the perf trajectory
+    across commits can be reconstructed from one file without scraping
+    CI artifacts: group lines by ``provenance.config_fingerprint`` and
+    sort by commit.
+    """
+    with open(path, "a") as fh:
+        fh.write(json.dumps(report, sort_keys=True, default=str) + "\n")
+
+
 # ----------------------------------------------------------------------
 # Datasets (cached; one instance per suite run)
 # ----------------------------------------------------------------------

@@ -573,7 +573,7 @@ def check_paths(paths) -> "list[Finding]":
 
 
 def default_targets() -> "list[Path]":
-    """The five annotated concurrency modules, resolved relative to the
+    """The annotated concurrency modules, resolved relative to the
     installed package (so the CLI works from any working directory)."""
     import repro
 
@@ -584,4 +584,6 @@ def default_targets() -> "list[Path]":
         root / "distributed" / "partition_server.py",
         root / "distributed" / "cluster.py",
         root / "core" / "trainer.py",
+        root / "telemetry" / "tracer.py",
+        root / "telemetry" / "metrics.py",
     ]

@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import ConfigSchema
 from repro.core.checkpointing import load_model, save_model
 from repro.core.model import EmbeddingModel
@@ -79,6 +80,38 @@ def _infer_counts(config: ConfigSchema, edges: EdgeList) -> "dict[str, int]":
     return counts
 
 
+def _arm_tracer(config: ConfigSchema):
+    """Arm the span tracer when the run asks for a trace file. The
+    CLI owns the tracer (trainers only arm one if nobody else has), so
+    the digest can be computed from the in-memory spans after export."""
+    if not config.trace_path:
+        return None
+    tracer = telemetry.enable()
+    telemetry.set_lane("cli.main")
+    return tracer
+
+
+def _finish_tracer(tracer, config: ConfigSchema) -> None:
+    if tracer is None:
+        return
+    try:
+        tracer.export(config.trace_path)
+        print(f"trace written to {config.trace_path}")
+    finally:
+        telemetry.disable()
+
+
+def _print_digest(tracer) -> None:
+    """One-screen telemetry digest (overlap, stalls, slowest buckets)
+    derived from the captured trace — replaces the raw counter dump,
+    which now hides behind --verbose."""
+    if tracer is None:
+        return
+    from repro.telemetry.analyze import analyze_tracer, render_digest
+
+    print(render_digest(analyze_tracer(tracer)))
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     config = ConfigSchema.from_json(Path(args.config).read_text())
     if args.checkpoint is not None:
@@ -95,6 +128,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
     if args.writeback_delta:
         config = config.replace(writeback_delta=True)
+    if args.trace is not None:
+        config = config.replace(trace_path=args.trace)
     edges = load_edges(args.edges)
     counts = (
         json.loads(args.entity_counts)
@@ -133,7 +168,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"({e.num_edges} edges, {e.train_time:.1f}s train, "
             f"{e.io_time:.1f}s io)"
         )
-        if config.pipeline:
+        if config.pipeline and args.verbose:
             p = e.pipeline
             line += (
                 f" [pipeline: {p.prefetch_hits} hits / "
@@ -142,13 +177,18 @@ def _cmd_train(args: argparse.Namespace) -> int:
             )
         print(line)
 
-    stats = trainer.train(edges, after_epoch=progress)
+    tracer = _arm_tracer(config)
+    try:
+        stats = trainer.train(edges, after_epoch=progress)
+    finally:
+        _finish_tracer(tracer, config)
     print(
         f"done: {stats.total_edges} edge-visits in {stats.total_time:.1f}s "
         f"({stats.edges_per_second:,.0f} edges/s), peak "
         f"{stats.peak_resident_bytes / 1e6:.1f} MB"
     )
-    if config.pipeline:
+    _print_digest(tracer)
+    if config.pipeline and args.verbose:
         p = stats.pipeline
         print(
             f"pipeline: {p.hit_rate:.0%} prefetch hit rate "
@@ -188,7 +228,13 @@ def _train_distributed(
     # No after_epoch callback: passing one makes the coordinator
     # assemble the full model every epoch (every partition copied off
     # the server) while all machines idle at the barrier.
-    model, stats = trainer.train(edges)
+    # Note: in process mode the trace only sees the coordinator —
+    # worker processes have their own (disarmed) tracer global.
+    tracer = _arm_tracer(config)
+    try:
+        model, stats = trainer.train(edges)
+    finally:
+        _finish_tracer(tracer, config)
     for epoch, seconds in enumerate(stats.epoch_times):
         print(f"epoch {epoch}: {seconds:.1f}s")
     print(
@@ -197,13 +243,16 @@ def _train_distributed(
         f"peak/machine {stats.peak_machine_bytes / 1e6:.1f} MB, "
         f"idle {stats.mean_idle_fraction:.0%}"
     )
-    if config.pipeline:
+    _print_digest(tracer)
+    if config.pipeline and args.verbose:
         print(
             f"pipeline: {stats.prefetch_hit_rate:.0%} prefetch hit rate, "
             f"{stats.reservation_accuracy:.0%} reservation accuracy, "
             f"{stats.transfer_overlap_seconds:.1f}s transfer overlapped"
         )
-    if config.partition_compression != "none" or config.writeback_delta:
+    if (
+        config.partition_compression != "none" or config.writeback_delta
+    ) and args.verbose:
         deltas = sum(m.delta_pushes for m in stats.machines)
         fallbacks = sum(m.delta_fallbacks for m in stats.machines)
         print(
@@ -285,6 +334,14 @@ def build_parser() -> argparse.ArgumentParser:
                          default="thread",
                          help="distributed transport when the config "
                               "has num_machines > 1 (default: thread)")
+    p_train.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a Chrome trace_event JSON of the "
+                              "run's spans here (view in Perfetto or "
+                              "analyze with python -m repro.telemetry)")
+    p_train.add_argument("-v", "--verbose", action="store_true",
+                         help="also print raw pipeline / wire counter "
+                              "summaries (default: telemetry digest "
+                              "only when tracing)")
     p_train.add_argument("--bandwidth", type=float, default=None,
                          metavar="BYTES_PER_S",
                          help="simulated partition-server NIC bandwidth "

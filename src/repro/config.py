@@ -225,6 +225,11 @@ class ConfigSchema:
     # the per-key version check, so a stale delta degrades to a full
     # push. With partition_compression="none" this is exactly lossless.
     writeback_delta: bool = False
+    # Write a Chrome trace_event JSON file of the run's spans here
+    # (view in chrome://tracing / Perfetto, or analyze with
+    # ``python -m repro.telemetry PATH``). None (default) keeps the
+    # span tracer fully disarmed: hot paths see a shared no-op span.
+    trace_path: str | None = None
 
     # Distributed training.
     num_machines: int = 1

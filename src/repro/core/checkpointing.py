@@ -27,6 +27,7 @@ import numpy as np
 from repro.config import ConfigSchema
 from repro.core.model import EmbeddingModel
 from repro.core.tables import DenseEmbeddingTable, FeaturizedEmbeddingTable
+from repro import telemetry
 from repro.graph.entity_storage import EntityStorage, TypePartitioning
 from repro.graph.storage import CheckpointStorage
 
@@ -55,7 +56,17 @@ def save_model(
     so :func:`load_model` reads any codec without being told.
     """
     if barrier is not None:
-        barrier()
+        with telemetry.span("checkpoint.drain", cat="checkpoint"):
+            barrier()
+    with telemetry.span("checkpoint.save", cat="checkpoint"):
+        return _save_model_files(
+            checkpoint_dir, model, entities, metadata, codec
+        )
+
+
+def _save_model_files(
+    checkpoint_dir, model, entities, metadata, codec
+) -> CheckpointStorage:
     ckpt = CheckpointStorage(checkpoint_dir, codec=codec)
     ckpt.save_config(model.config.to_json())
 

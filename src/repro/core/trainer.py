@@ -63,6 +63,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import ConfigSchema
 from repro.core.batching import iterate_batches, iterate_chunks
 from repro.core.model import ChunkStats, EmbeddingModel
@@ -105,6 +106,22 @@ class PipelineStats:
         self.prefetch_wait_time += other.prefetch_wait_time
         self.writeback_stall_time += other.writeback_stall_time
         self.cache_evictions += other.cache_evictions
+
+    def since(self, base: "PipelineStats") -> "PipelineStats":
+        """Delta snapshot: counters accumulated after ``base`` was
+        taken (the pipeline's registry counts monotonically across the
+        whole run; per-epoch stats are differences of snapshots)."""
+        return PipelineStats(
+            prefetch_hits=self.prefetch_hits - base.prefetch_hits,
+            prefetch_misses=self.prefetch_misses - base.prefetch_misses,
+            prefetch_wait_time=(
+                self.prefetch_wait_time - base.prefetch_wait_time
+            ),
+            writeback_stall_time=(
+                self.writeback_stall_time - base.writeback_stall_time
+            ),
+            cache_evictions=self.cache_evictions - base.cache_evictions,
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -244,12 +261,20 @@ class Trainer:
         """Train on pre-bucketed edges (see :func:`bucket_edges`)."""
         stats = TrainingStats()
         start = time.perf_counter()
+        # Arm tracing when the config asks for it and nothing outer
+        # (CLI, benchmark, test) already owns a tracer; whoever arms,
+        # exports.
+        owned_tracer = None
+        if self.config.trace_path and telemetry.active() is None:
+            owned_tracer = telemetry.enable()
+        telemetry.set_lane("trainer.main")
         self._ensure_global_types()
         if self.config.pipeline and self._partitioned:
             self._start_pipeline()
         try:
             for epoch in range(self.config.num_epochs):
-                epoch_stats = self._run_epoch(epoch, bucketed, stats)
+                with telemetry.span("epoch", cat="phase", epoch=epoch):
+                    epoch_stats = self._run_epoch(epoch, bucketed, stats)
                 stats.epochs.append(epoch_stats)
                 if self.config.checkpoint_dir is not None:
                     stall0 = (
@@ -277,6 +302,11 @@ class Trainer:
                     # the original exception with a writeback error.
                     if not failing:
                         raise
+            if owned_tracer is not None:
+                try:
+                    owned_tracer.export(self.config.trace_path)
+                finally:
+                    telemetry.disable()
         stats.total_time = time.perf_counter() - start
         if self.storage is not None:
             stats.partition_store_bytes = self.storage.nbytes()
@@ -300,6 +330,18 @@ class Trainer:
                 self._pipeline.close()
         finally:
             self._pipeline = None
+
+    def _pipeline_snapshot(self) -> PipelineStats:
+        """Point-in-time PipelineStats derived from the pipeline's
+        metrics registry (requires an active pipeline)."""
+        pipe = self._pipeline
+        return PipelineStats(
+            prefetch_hits=pipe.prefetch_hits,
+            prefetch_misses=pipe.prefetch_misses,
+            prefetch_wait_time=pipe.prefetch_wait_seconds,
+            writeback_stall_time=pipe.writeback.stall_seconds,
+            cache_evictions=pipe.cache.evictions,
+        )
 
     def _pipeline_barrier(self) -> None:
         """Make the partition store consistent with training state:
@@ -375,23 +417,26 @@ class Trainer:
             for stratum in range(passes)
             for bucket in order
         ]
-        stall_base = (
-            self._pipeline.writeback.stall_seconds
-            if self._pipeline_active
-            else 0.0
-        )
-        evict_base = (
-            self._pipeline.cache.evictions if self._pipeline_active else 0
+        pipe_base = (
+            self._pipeline_snapshot() if self._pipeline_active else None
         )
         for visit, (stratum, bucket) in enumerate(visits):
             t0 = time.perf_counter()
-            if self._pipeline_active:
-                next_bucket = (
-                    visits[visit + 1][1] if visit + 1 < len(visits) else None
-                )
-                self._swap_to_bucket_pipelined(bucket, next_bucket, estats)
-            else:
-                self._swap_to_bucket(bucket, estats)
+            with telemetry.span(
+                "swap.bucket", cat="stall",
+                bucket=f"{bucket.lhs},{bucket.rhs}", epoch=epoch,
+            ):
+                if self._pipeline_active:
+                    next_bucket = (
+                        visits[visit + 1][1]
+                        if visit + 1 < len(visits)
+                        else None
+                    )
+                    self._swap_to_bucket_pipelined(
+                        bucket, next_bucket, estats
+                    )
+                else:
+                    self._swap_to_bucket(bucket, estats)
             estats.io_time += time.perf_counter() - t0
             resident = self.model.resident_nbytes()
             if self._pipeline_active:
@@ -420,7 +465,12 @@ class Trainer:
                 edges = edges[perm[n_hold:]]
                 before = self._bucket_eval(bucket, holdout)
             t1 = time.perf_counter()
-            bucket_stats = self._train_bucket(bucket, edges)
+            with telemetry.span(
+                "train.bucket", cat="compute",
+                bucket=f"{bucket.lhs},{bucket.rhs}", epoch=epoch,
+                stratum=stratum,
+            ):
+                bucket_stats = self._train_bucket(bucket, edges)
             estats.train_time += time.perf_counter() - t1
             if len(holdout):
                 after = self._bucket_eval(bucket, holdout)
@@ -444,12 +494,7 @@ class Trainer:
                 self._flush_resident()
             estats.io_time += time.perf_counter() - t0
         if self._pipeline_active:
-            estats.pipeline.writeback_stall_time = (
-                self._pipeline.writeback.stall_seconds - stall_base
-            )
-            estats.pipeline.cache_evictions = (
-                self._pipeline.cache.evictions - evict_base
-            )
+            estats.pipeline = self._pipeline_snapshot().since(pipe_base)
         return estats
 
     _EVAL_CANDIDATES = 100
@@ -526,11 +571,12 @@ class Trainer:
         from repro.core.tables import DenseEmbeddingTable
 
         pipe = self._pipeline
-        pstats = estats.pipeline
         needed = self._required_partitions(bucket)
         # 1. Settle in-flight prefetch loads so cache state is final
-        #    and the prefetch thread is quiescent during 2–4.
-        pstats.prefetch_wait_time += pipe.settle()
+        #    and the prefetch thread is quiescent during 2–4. (The
+        #    pipeline's registry counts the wait; epoch stats are
+        #    snapshot deltas.)
+        pipe.settle()
         # 2. Evict residents this bucket doesn't need. Instead of a
         #    blocking save, they are parked dirty in the cache and
         #    persisted by the writeback thread off the critical path.
@@ -549,10 +595,6 @@ class Trainer:
             if self.model.has_table(entity_type, part):
                 continue
             got, from_cache = pipe.take(entity_type, part)
-            if from_cache:
-                pstats.prefetch_hits += 1
-            else:
-                pstats.prefetch_misses += 1
             if got is not None:
                 self.model.set_table(
                     entity_type, part, DenseEmbeddingTable(*got)

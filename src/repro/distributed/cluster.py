@@ -101,6 +101,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import ConfigSchema
 from repro.core.batching import iterate_batches, iterate_chunks
 from repro.core.model import ChunkStats, EmbeddingModel
@@ -119,6 +120,7 @@ from repro.graph.edgelist import EdgeList
 from repro.graph.entity_storage import EntityStorage
 from repro.graph.partitioning import BucketedEdges, bucket_edges
 from repro.graph.storage import PartitionPipeline, StorageError
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["DistributedTrainer", "MachineStats", "DistributedStats"]
 
@@ -294,7 +296,20 @@ def _machine_main(
 ) -> None:
     """One machine's full run (works with objects or proxies)."""
     cfg = ctx.config
-    mstats = MachineStats(ctx.machine)
+    telemetry.set_lane(f"machine-{ctx.machine}.main")
+    # Per-machine registry: the MachineStats shipped to the coordinator
+    # is a snapshot of these instruments (plus the pipeline's and the
+    # adapter's own registries), not a hand-incremented twin.
+    registry = MetricsRegistry()
+    c_train = registry.counter("machine.train_seconds")
+    c_transfer = registry.counter("machine.transfer_seconds")
+    c_idle = registry.counter("machine.idle_seconds")
+    c_loss = registry.counter("machine.loss")
+    c_edges = registry.counter("machine.edges")
+    c_buckets = registry.counter("machine.buckets_trained")
+    c_reservations = registry.counter("machine.reservations")
+    c_res_hits = registry.counter("machine.reservation_hits")
+    g_resident = registry.gauge("machine.resident_bytes")
     pipe = None
     backend = None
     #: wall seconds of partition-server I/O paid on the critical path
@@ -333,6 +348,7 @@ def _machine_main(
                 backend,
                 budget_bytes=cfg.partition_cache_budget,
                 validate=backend.is_current,
+                name=f"machine-{ctx.machine}",
             )
             committer = _PartitionCommitter(lock_server, ctx.machine)
 
@@ -352,31 +368,38 @@ def _machine_main(
                     else:
                         _flush_partitions(ctx, model, backend, lock_server)
                     t0 = time.perf_counter()
-                    time.sleep(_IDLE_SLEEP)
-                    mstats.idle_time += time.perf_counter() - t0
+                    with telemetry.span(
+                        "lock.starved", cat="stall", machine=ctx.machine
+                    ):
+                        time.sleep(_IDLE_SLEEP)
+                    c_idle.inc(time.perf_counter() - t0)
                     continue
                 bucket = Bucket(*bucket)
                 if reserved is not None:
                     if reserved == bucket:
-                        mstats.reservation_hits += 1
+                        c_res_hits.inc()
                     reserved = None
                 t0 = time.perf_counter()
-                if pipe is not None:
-                    _swap_to_bucket_pipelined(
-                        ctx, model, bucket, pipe, committer, rng, mstats
-                    )
-                else:
-                    _swap_to_bucket(ctx, model, bucket, backend, lock_server, rng)
+                with telemetry.span(
+                    "swap.bucket", cat="stall", machine=ctx.machine,
+                    bucket=f"{bucket.lhs},{bucket.rhs}",
+                ):
+                    if pipe is not None:
+                        _swap_to_bucket_pipelined(
+                            ctx, model, bucket, pipe, committer, rng
+                        )
+                    else:
+                        _swap_to_bucket(
+                            ctx, model, bucket, backend, lock_server, rng
+                        )
                 elapsed = time.perf_counter() - t0
-                mstats.transfer_time += elapsed
+                c_transfer.inc(elapsed)
                 inline_io += elapsed
                 hosted = partition_server.shard_nbytes()[ctx.machine]
                 resident = model.resident_nbytes() + hosted
                 if pipe is not None:
                     resident += pipe.cache.nbytes()
-                mstats.peak_resident_bytes = max(
-                    mstats.peak_resident_bytes, resident
-                )
+                g_resident.set(resident)
                 if pipe is not None:
                     # Two-phase protocol: learn the likely next bucket
                     # and pull its partitions from the partition server
@@ -384,7 +407,7 @@ def _machine_main(
                     nxt = lock_server.reserve(ctx.machine)
                     if nxt is not None:
                         reserved = Bucket(*nxt)
-                        mstats.reservations += 1
+                        c_reservations.inc()
                         pipe.schedule(
                             key
                             for key in sorted(
@@ -394,11 +417,17 @@ def _machine_main(
                         )
                 edges = ctx.bucketed.edges_for(bucket)
                 t1 = time.perf_counter()
-                bstats = _train_bucket(ctx, model, client, bucket, edges, rng)
-                mstats.train_time += time.perf_counter() - t1
-                mstats.loss += bstats.loss
-                mstats.num_edges += bstats.num_edges
-                mstats.buckets_trained += 1
+                with telemetry.span(
+                    "train.bucket", cat="compute", machine=ctx.machine,
+                    bucket=f"{bucket.lhs},{bucket.rhs}",
+                ):
+                    bstats = _train_bucket(
+                        ctx, model, client, bucket, edges, rng
+                    )
+                c_train.inc(time.perf_counter() - t1)
+                c_loss.inc(bstats.loss)
+                c_edges.inc(bstats.num_edges)
+                c_buckets.inc()
                 # Both paths defer: the bucket's partitions stay
                 # invisible to other machines until their push-backs
                 # land (asynchronously via the writeback thread in
@@ -409,21 +438,45 @@ def _machine_main(
 
             # Flush resident partitions so the epoch-end model is complete.
             t0 = time.perf_counter()
-            if pipe is not None:
-                # Drain barrier (PR-1 invariant, network path): every
-                # push-back must land before the coordinator assembles
-                # a model or checkpoints from the partition server.
-                mstats.prefetch_wait_time += pipe.settle()
-                _park_residents(ctx, model, pipe, committer)
-                pipe.drain()
-            else:
-                _flush_partitions(ctx, model, backend, lock_server)
-            inline_io += time.perf_counter() - t0
-            client.maybe_sync(force=True)
-            mstats.transfer_time += time.perf_counter() - t0
+            with telemetry.span(
+                "epoch.flush", cat="stall", machine=ctx.machine
+            ):
+                if pipe is not None:
+                    # Drain barrier (PR-1 invariant, network path):
+                    # every push-back must land before the coordinator
+                    # assembles a model or checkpoints from the
+                    # partition server.
+                    pipe.settle()
+                    _park_residents(ctx, model, pipe, committer)
+                    pipe.drain()
+                else:
+                    _flush_partitions(ctx, model, backend, lock_server)
+                inline_io += time.perf_counter() - t0
+                client.maybe_sync(force=True)
+            c_transfer.inc(time.perf_counter() - t0)
             barrier.wait(_BARRIER_TIMEOUT)  # epoch end
             barrier.wait(_BARRIER_TIMEOUT)  # coordinator go-ahead
+        mstats = MachineStats(
+            machine=ctx.machine,
+            buckets_trained=int(c_buckets.value),
+            num_edges=int(c_edges.value),
+            loss=c_loss.value,
+            train_time=c_train.value,
+            transfer_time=c_transfer.value,
+            idle_time=c_idle.value,
+            peak_resident_bytes=int(g_resident.max),
+            reservations=int(c_reservations.value),
+            reservation_hits=int(c_res_hits.value),
+            wire_bytes_sent=backend.bytes_sent,
+            wire_bytes_received=backend.bytes_received,
+            wire_bytes_saved=backend.bytes_saved,
+            delta_pushes=backend.delta_pushes,
+            delta_fallbacks=backend.delta_fallbacks,
+        )
         if pipe is not None:
+            mstats.prefetch_hits = pipe.prefetch_hits
+            mstats.prefetch_misses = pipe.prefetch_misses
+            mstats.prefetch_wait_time = pipe.prefetch_wait_seconds
             mstats.stale_prefetches = pipe.stale_hits
             mstats.writeback_stall_time = pipe.writeback.stall_seconds
             # Partition-server I/O hidden behind compute: total adapter
@@ -432,11 +485,6 @@ def _machine_main(
             mstats.transfer_overlap_time = max(
                 0.0, backend.io_seconds - inline_io
             )
-        mstats.wire_bytes_sent = backend.bytes_sent
-        mstats.wire_bytes_received = backend.bytes_received
-        mstats.wire_bytes_saved = backend.bytes_saved
-        mstats.delta_pushes = backend.delta_pushes
-        mstats.delta_fallbacks = backend.delta_fallbacks
         result_queue.put(("ok", mstats))
     except BaseException as exc:
         # Abort first so peers (and the coordinator) fall out of their
@@ -543,7 +591,6 @@ def _swap_to_bucket_pipelined(
     pipe: PartitionPipeline,
     committer: _PartitionCommitter,
     rng: np.random.Generator,
-    mstats: MachineStats,
 ) -> None:
     """Pipelined swap: consume prefetched partitions, push evictions
     back asynchronously, commit their lock-server deferrals on land.
@@ -554,8 +601,10 @@ def _swap_to_bucket_pipelined(
     RNG consumption order matches the serial path.
     """
     needed = _needed_partitions(ctx, bucket)
-    # 1. Settle in-flight prefetch loads so cache state is final.
-    mstats.prefetch_wait_time += pipe.settle()
+    # 1. Settle in-flight prefetch loads so cache state is final (the
+    #    pipeline's registry counts hits/misses/waits; MachineStats is
+    #    snapshotted from it at the end of the run).
+    pipe.settle()
     # 2. Park residents this bucket doesn't need: the writeback thread
     #    pushes them to the partition server off the critical path, and
     #    the lock server's deferral lifts when each push lands.
@@ -568,10 +617,6 @@ def _swap_to_bucket_pipelined(
         if model.has_table(entity_type, part):
             continue
         got, from_cache = pipe.take(entity_type, part)
-        if from_cache:
-            mstats.prefetch_hits += 1
-        else:
-            mstats.prefetch_misses += 1
         if got is None:
             # First touch stays on the owning machine.
             model.init_partition(entity_type, part, rng)

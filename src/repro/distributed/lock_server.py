@@ -55,7 +55,9 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.graph.buckets import Bucket
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["LockServer", "LockServerStats"]
 
@@ -108,12 +110,37 @@ class LockServer:  # public-guard: _lock
             for j in range(nparts_rhs)
         ]
         self._lock = threading.Lock()
-        self.stats = LockServerStats()  # guarded-by: _lock
+        # Scheduling counters live in a metrics registry; ``stats`` is a
+        # derived snapshot, not a hand-incremented twin. Counters carry
+        # their own leaf locks, so bumping them under _lock is safe.
+        self._metrics = MetricsRegistry()
+        self._c_acquires = self._metrics.counter("lockserver.acquires")
+        self._c_failed = self._metrics.counter("lockserver.failed_acquires")
+        self._c_affinity = self._metrics.counter("lockserver.affinity_hits")
+        self._c_epochs = self._metrics.counter("lockserver.epochs")
+        self._c_reservations = self._metrics.counter("lockserver.reservations")
+        self._c_res_hits = self._metrics.counter("lockserver.reservation_hits")
+        self._c_res_misses = self._metrics.counter(
+            "lockserver.reservation_misses"
+        )
         # Per-machine previous bucket (affinity) and outstanding advisory
         # reservation; both survive epoch resets.
         self._prev: "dict[int, Bucket]" = {}  # guarded-by: _lock
         self._reserved: "dict[int, Bucket]" = {}  # guarded-by: _lock
         self._state = _State(remaining=set(self._all_buckets))  # guarded-by: _lock
+
+    @property
+    def stats(self) -> LockServerStats:  # lint: no-lock (counter-backed)
+        """Snapshot of the scheduling counters (derived, read-only)."""
+        return LockServerStats(
+            acquires=int(self._c_acquires.value),
+            failed_acquires=int(self._c_failed.value),
+            affinity_hits=int(self._c_affinity.value),
+            epochs=int(self._c_epochs.value),
+            reservations=int(self._c_reservations.value),
+            reservation_hits=int(self._c_res_hits.value),
+            reservation_misses=int(self._c_res_misses.value),
+        )
 
     # ------------------------------------------------------------------
 
@@ -151,7 +178,7 @@ class LockServer:  # public-guard: _lock
             # A reservation made against the drained grid is meaningless
             # for the fresh one; scoring it would skew accuracy stats.
             self._reserved.clear()
-            self.stats.epochs += 1
+            self._c_epochs.inc()
 
     def _select(
         self,
@@ -194,7 +221,7 @@ class LockServer:  # public-guard: _lock
                 best, best_key = bucket, key
         return best, best_key
 
-    def acquire(self, machine: int) -> Bucket | None:
+    def acquire(self, machine: int):  # lint: no-lock (locks in _acquire)
         """Request a bucket for ``machine``; None if nothing is eligible.
 
         Partitions deferred by this machine (released with
@@ -202,6 +229,16 @@ class LockServer:  # public-guard: _lock
         it — its resident copy is the freshest — and reclaiming them
         clears the deferral.
         """
+        with telemetry.span(
+            "lock.acquire", cat="lock", machine=machine
+        ) as sp:
+            bucket = self._acquire(machine)
+            sp.note(granted=bucket is not None)
+            if bucket is not None:
+                sp.note(bucket=f"{bucket.lhs},{bucket.rhs}")
+            return bucket
+
+    def _acquire(self, machine: int) -> Bucket | None:
         with self._lock:
             st = self._state
             if machine in st.active:
@@ -219,31 +256,40 @@ class LockServer:  # public-guard: _lock
                 bool(st.active),
             )
             if best is None:
-                self.stats.failed_acquires += 1
+                self._c_failed.inc()
                 return None
             reserved = self._reserved.pop(machine, None)
             if reserved is not None:
                 if reserved == best:
-                    self.stats.reservation_hits += 1
+                    self._c_res_hits.inc()
                 else:
-                    self.stats.reservation_misses += 1
+                    self._c_res_misses.inc()
             st.remaining.discard(best)
             for p in (best.lhs, best.rhs):
                 st.deferred.pop(p, None)
                 st.locked_partitions.add(p)
             st.active[machine] = best
-            self.stats.acquires += 1
+            self._c_acquires.inc()
             if best_key[0] > 0:
-                self.stats.affinity_hits += 1
+                self._c_affinity.inc()
             return best
 
-    def reserve(self, machine: int) -> Bucket | None:
+    def reserve(self, machine: int):  # lint: no-lock (locks in _reserve)
         """Predict (without locking anything) the bucket this machine's
         next :meth:`acquire` would be granted, evaluated as if it had
         already released its current bucket. Purely advisory — used to
         prefetch the next bucket's partitions during training; the
         prediction can be invalidated by any other machine's acquire.
         """
+        with telemetry.span(
+            "lock.reserve", cat="lock", machine=machine
+        ) as sp:
+            bucket = self._reserve(machine)
+            if bucket is not None:
+                sp.note(bucket=f"{bucket.lhs},{bucket.rhs}")
+            return bucket
+
+    def _reserve(self, machine: int) -> Bucket | None:
         with self._lock:
             st = self._state
             cur = st.active.get(machine)
@@ -272,7 +318,7 @@ class LockServer:  # public-guard: _lock
             if best is None:
                 self._reserved.pop(machine, None)
                 return None
-            self.stats.reservations += 1
+            self._c_reservations.inc()
             self._reserved[machine] = best
             return best
 
@@ -286,7 +332,10 @@ class LockServer:  # public-guard: _lock
         :meth:`commit_partition` confirms the releasing machine's
         asynchronous push-back has landed on the partition server.
         """
-        with self._lock:
+        with telemetry.span(
+            "lock.release", cat="lock", machine=machine,
+            bucket=f"{bucket.lhs},{bucket.rhs}", defer=defer,
+        ), self._lock:
             st = self._state
             if st.active.get(machine) != bucket:
                 raise RuntimeError(
@@ -308,7 +357,9 @@ class LockServer:  # public-guard: _lock
         to everyone. No-op if the machine reclaimed the partition in the
         meantime (its acquire cleared the deferral) — safe to call from
         writeback threads without coordination."""
-        with self._lock:
+        with telemetry.span(
+            "lock.commit", cat="lock", machine=machine, part=part
+        ), self._lock:
             if self._state.deferred.get(part) == machine:
                 del self._state.deferred[part]
 

@@ -37,9 +37,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis import hooks
 from repro.graph import compression
 from repro.graph.storage import StorageError
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = [
     "PartitionServer",
@@ -134,8 +136,41 @@ class PartitionServer:  # public-guard: lock, _stats_lock
         self._shards = [_Shard() for _ in range(num_shards)]
         self.bandwidth = bandwidth_bytes_per_s
         self._codec = compression.get_codec(codec)
-        self.stats = PartitionServerStats()  # guarded-by: _stats_lock
+        # Transfer counters live in a metrics registry; ``stats`` is a
+        # derived snapshot. _stats_lock still serialises the NIC model
+        # (nic_free_at read-modify-write must be atomic).
+        self._metrics = MetricsRegistry()
+        self._c_gets = self._metrics.counter("server.gets")
+        self._c_puts = self._metrics.counter("server.puts")
+        self._c_misses = self._metrics.counter("server.misses")
+        self._c_bytes_sent = self._metrics.counter("server.bytes_sent")
+        self._c_bytes_received = self._metrics.counter("server.bytes_received")
+        self._c_bytes_saved = self._metrics.counter("server.bytes_saved")
+        self._c_delta_puts = self._metrics.counter("server.delta_puts")
+        self._c_delta_stale = self._metrics.counter("server.delta_stale")
+        self._c_transfer_s = self._metrics.counter(
+            "server.simulated_transfer_seconds"
+        )
+        self._c_queue_s = self._metrics.counter(
+            "server.simulated_queue_seconds"
+        )
         self._stats_lock = threading.Lock()
+
+    @property
+    def stats(self) -> PartitionServerStats:  # lint: no-lock (counter-backed)
+        """Snapshot of the transfer counters (derived, read-only)."""
+        return PartitionServerStats(
+            gets=int(self._c_gets.value),
+            puts=int(self._c_puts.value),
+            misses=int(self._c_misses.value),
+            bytes_sent=int(self._c_bytes_sent.value),
+            bytes_received=int(self._c_bytes_received.value),
+            bytes_saved=int(self._c_bytes_saved.value),
+            delta_puts=int(self._c_delta_puts.value),
+            delta_stale=int(self._c_delta_stale.value),
+            simulated_transfer_seconds=self._c_transfer_s.value,
+            simulated_queue_seconds=self._c_queue_s.value,
+        )
 
     # ------------------------------------------------------------------
 
@@ -152,30 +187,29 @@ class PartitionServer:  # public-guard: lock, _stats_lock
     ) -> None:
         delay = nbytes / self.bandwidth if self.bandwidth else 0.0
         wait = 0.0
-        with self._stats_lock:
-            if sent:
-                self.stats.gets += 1
-                self.stats.bytes_sent += nbytes
-            else:
-                self.stats.puts += 1
-                self.stats.bytes_received += nbytes
-            self.stats.bytes_saved += saved
-            self.stats.simulated_transfer_seconds += delay
-            if delay:
+        if sent:
+            self._c_gets.inc()
+            self._c_bytes_sent.inc(nbytes)
+        else:
+            self._c_puts.inc()
+            self._c_bytes_received.inc(nbytes)
+        self._c_bytes_saved.inc(saved)
+        self._c_transfer_s.inc(delay)
+        if delay:
+            with self._stats_lock:
                 # The shard's NIC is shared: this transfer starts when
                 # the device frees up, not immediately.
                 now = time.monotonic()
                 start = max(now, shard.nic_free_at)
                 shard.nic_free_at = start + delay
-                self.stats.simulated_queue_seconds += start - now
                 wait = (start + delay) - now
+            self._c_queue_s.inc(start - now)
         if wait > 0:
             time.sleep(wait)
 
     def _account_miss(self) -> None:
-        with self._stats_lock:
-            self.stats.gets += 1
-            self.stats.misses += 1
+        self._c_gets.inc()
+        self._c_misses.inc()
 
     # ------------------------------------------------------------------
 
@@ -188,17 +222,21 @@ class PartitionServer:  # public-guard: lock, _stats_lock
     ) -> int:
         """Store a partition (the server keeps its own, encoded, copy);
         returns the partition's new version number."""
-        payload = self._codec.encode(embeddings, optim_state)
-        nbytes = compression.payload_nbytes(payload)
-        raw = _raw_nbytes(len(embeddings), embeddings.shape[1])
-        shard = self._shard(part)
-        key = (entity_type, part)
-        with shard.lock:
-            shard.store[key] = payload
-            version = shard.versions.get(key, 0) + 1
-            shard.versions[key] = version
-        self._account(shard, nbytes, sent=False, saved=raw - nbytes)
-        return version
+        with telemetry.span(
+            "server.put", cat="transfer", entity=entity_type, part=part
+        ) as sp:
+            payload = self._codec.encode(embeddings, optim_state)
+            nbytes = compression.payload_nbytes(payload)
+            raw = _raw_nbytes(len(embeddings), embeddings.shape[1])
+            sp.note(wire_bytes=nbytes)
+            shard = self._shard(part)
+            key = (entity_type, part)
+            with shard.lock:
+                shard.store[key] = payload
+                version = shard.versions.get(key, 0) + 1
+                shard.versions[key] = version
+            self._account(shard, nbytes, sent=False, saved=raw - nbytes)
+            return version
 
     def put_delta(
         self,
@@ -221,54 +259,66 @@ class PartitionServer:  # public-guard: lock, _stats_lock
         to the NIC (the version check itself is a metadata round-trip,
         not a data transfer).
         """
-        delta = compression.encode_delta(
-            self._codec, row_indices, emb_rows, state_rows
-        )
-        nbytes = compression.payload_nbytes(delta)
-        shard = self._shard(part)
-        key = (entity_type, part)
-        with shard.lock:
-            current = shard.versions.get(key, 0)
-            if current != base_version or key not in shard.store:
-                stale = True
-            else:
-                stale = False
-                emb, state = self._codec.decode(shard.store[key])
-                rows, d_emb, d_state = compression.decode_delta(delta)
-                compression.apply_delta_rows(emb, state, rows, d_emb, d_state)
-                shard.store[key] = self._codec.encode(emb, state)
-                version = current + 1
-                shard.versions[key] = version
-        if stale:
-            with self._stats_lock:
-                self.stats.delta_stale += 1
-            return None
-        raw = _raw_nbytes(len(emb), emb.shape[1])
-        with self._stats_lock:
-            self.stats.delta_puts += 1
-        self._account(shard, nbytes, sent=False, saved=raw - nbytes)
-        return version
+        with telemetry.span(
+            "server.put_delta", cat="transfer", entity=entity_type, part=part
+        ) as sp:
+            delta = compression.encode_delta(
+                self._codec, row_indices, emb_rows, state_rows
+            )
+            nbytes = compression.payload_nbytes(delta)
+            sp.note(wire_bytes=nbytes, rows=len(row_indices))
+            shard = self._shard(part)
+            key = (entity_type, part)
+            with shard.lock:
+                current = shard.versions.get(key, 0)
+                if current != base_version or key not in shard.store:
+                    stale = True
+                else:
+                    stale = False
+                    emb, state = self._codec.decode(shard.store[key])
+                    rows, d_emb, d_state = compression.decode_delta(delta)
+                    compression.apply_delta_rows(
+                        emb, state, rows, d_emb, d_state
+                    )
+                    shard.store[key] = self._codec.encode(emb, state)
+                    version = current + 1
+                    shard.versions[key] = version
+            sp.note(stale=stale)
+            if stale:
+                self._c_delta_stale.inc()
+                return None
+            raw = _raw_nbytes(len(emb), emb.shape[1])
+            self._c_delta_puts.inc()
+            self._account(shard, nbytes, sent=False, saved=raw - nbytes)
+            return version
 
     def get_versioned(
         self, entity_type: str, part: int
     ) -> "tuple[np.ndarray, np.ndarray, int] | None":
         """Fetch a partition copy plus its version; None if never stored."""
-        shard = self._shard(part)
-        key = (entity_type, part)
-        with shard.lock:
-            payload = shard.store.get(key)
-            version = shard.versions.get(key) if payload is not None else None
-        if version is None:
-            self._account_miss()
-            return None
-        # Decode outside the shard lock: payloads are replaced
-        # wholesale on put, never mutated, and decode() allocates fresh
-        # arrays, so callers can never alias the stored copy.
-        emb, state = self._codec.decode(payload)
-        nbytes = compression.payload_nbytes(payload)
-        raw = _raw_nbytes(len(emb), emb.shape[1])
-        self._account(shard, nbytes, sent=True, saved=raw - nbytes)
-        return emb, state, version
+        with telemetry.span(
+            "server.get", cat="transfer", entity=entity_type, part=part
+        ) as sp:
+            shard = self._shard(part)
+            key = (entity_type, part)
+            with shard.lock:
+                payload = shard.store.get(key)
+                version = (
+                    shard.versions.get(key) if payload is not None else None
+                )
+            if version is None:
+                self._account_miss()
+                sp.note(miss=True)
+                return None
+            # Decode outside the shard lock: payloads are replaced
+            # wholesale on put, never mutated, and decode() allocates
+            # fresh arrays, so callers can never alias the stored copy.
+            emb, state = self._codec.decode(payload)
+            nbytes = compression.payload_nbytes(payload)
+            sp.note(wire_bytes=nbytes)
+            raw = _raw_nbytes(len(emb), emb.shape[1])
+            self._account(shard, nbytes, sent=True, saved=raw - nbytes)
+            return emb, state, version
 
     def get(  # lint: no-lock (pure delegation to get_versioned)
         self, entity_type: str, part: int
@@ -340,26 +390,72 @@ class PartitionServerStorage:  # public-guard: _lock
     proxies.
     """
 
-    def __init__(self, server, use_delta: bool = False) -> None:
+    def __init__(
+        self,
+        server,
+        use_delta: bool = False,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         self.server = server
         self.use_delta = use_delta
         self._lock = threading.Lock()
         self._versions: "dict[tuple[str, int], int]" = {}  # guarded-by: _lock
         self._codec_name: "str | None" = None
-        self.loads = 0  # guarded-by: _lock
-        self.saves = 0  # guarded-by: _lock
-        self.delta_pushes = 0  # guarded-by: _lock
-        self.delta_fallbacks = 0  # guarded-by: _lock
-        self.delta_skips = 0  # guarded-by: _lock
-        self.bytes_sent = 0  # guarded-by: _lock
-        self.bytes_received = 0  # guarded-by: _lock
-        self.bytes_saved = 0  # guarded-by: _lock
-        self.io_seconds = 0.0  # guarded-by: _lock
+        #: per-machine transfer counters (MachineStats derives from these)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_loads = self.metrics.counter("backend.loads")
+        self._c_saves = self.metrics.counter("backend.saves")
+        self._c_delta_pushes = self.metrics.counter("backend.delta_pushes")
+        self._c_delta_fallbacks = self.metrics.counter(
+            "backend.delta_fallbacks"
+        )
+        self._c_delta_skips = self.metrics.counter("backend.delta_skips")
+        self._c_bytes_sent = self.metrics.counter("backend.bytes_sent")
+        self._c_bytes_received = self.metrics.counter("backend.bytes_received")
+        self._c_bytes_saved = self.metrics.counter("backend.bytes_saved")
+        self._c_io_seconds = self.metrics.counter("backend.io_seconds")
         tracker = hooks.ownership_tracker()
         if tracker is None:
             self._owner = None
         else:
             self._owner = tracker.register_owner(f"backend-{id(self):x}")
+
+    @property
+    def loads(self) -> int:  # lint: no-lock (counter-backed)
+        return int(self._c_loads.value)
+
+    @property
+    def saves(self) -> int:  # lint: no-lock (counter-backed)
+        return int(self._c_saves.value)
+
+    @property
+    def delta_pushes(self) -> int:  # lint: no-lock (counter-backed)
+        return int(self._c_delta_pushes.value)
+
+    @property
+    def delta_fallbacks(self) -> int:  # lint: no-lock (counter-backed)
+        return int(self._c_delta_fallbacks.value)
+
+    @property
+    def delta_skips(self) -> int:  # lint: no-lock (counter-backed)
+        return int(self._c_delta_skips.value)
+
+    @property
+    def bytes_sent(self) -> int:  # lint: no-lock (counter-backed)
+        return int(self._c_bytes_sent.value)
+
+    @property
+    def bytes_received(self) -> int:  # lint: no-lock (counter-backed)
+        return int(self._c_bytes_received.value)
+
+    @property
+    def bytes_saved(self) -> int:  # lint: no-lock (counter-backed)
+        return int(self._c_bytes_saved.value)
+
+    @property
+    def io_seconds(self) -> float:  # lint: no-lock (counter-backed)
+        """Total wall seconds inside server transfers, all threads."""
+        return self._c_io_seconds.value
 
     def _set_pipeline_managed(self) -> None:
         """A :class:`~repro.graph.storage.PartitionPipeline` in front of
@@ -384,23 +480,26 @@ class PartitionServerStorage:  # public-guard: _lock
         else:
             nbytes = compression.wire_nbytes(codec, num_rows, dim)
         raw = compression.wire_nbytes("none", num_rows, dim)
-        with self._lock:
-            if outbound:
-                self.bytes_sent += nbytes
-            else:
-                self.bytes_received += nbytes
-            self.bytes_saved += raw - nbytes
+        if outbound:
+            self._c_bytes_sent.inc(nbytes)
+        else:
+            self._c_bytes_received.inc(nbytes)
+        self._c_bytes_saved.inc(raw - nbytes)
+        return nbytes
 
-    def load(
-        self, entity_type: str, part: int
-    ) -> "tuple[np.ndarray, np.ndarray]":
+    def load(self, entity_type, part):  # lint: no-lock (locks in _load)
+        with telemetry.span(
+            "backend.load", cat="transfer", entity=entity_type, part=part
+        ) as sp:
+            return self._load(sp, entity_type, part)
+
+    def _load(self, sp, entity_type: str, part: int):
         t0 = time.perf_counter()
         entry = self.server.get_versioned(entity_type, part)
-        elapsed = time.perf_counter() - t0
-        with self._lock:
-            self.io_seconds += elapsed
-            if entry is not None:
-                self.loads += 1
+        self._c_io_seconds.inc(time.perf_counter() - t0)
+        if entry is not None:
+            self._c_loads.inc()
+            with self._lock:
                 self._versions[(entity_type, part)] = entry[2]
         if entry is None:
             raise StorageError(
@@ -425,18 +524,31 @@ class PartitionServerStorage:  # public-guard: _lock
                 f"{optim_state.dtype}/{optim_state.shape} optimizer "
                 f"state; expected float32 ({len(embeddings)},)"
             )
-        self._wire(len(embeddings), embeddings.shape[1], outbound=False)
+        sp.note(
+            wire_bytes=self._wire(
+                len(embeddings), embeddings.shape[1], outbound=False
+            )
+        )
         if self._owner is not None:
             self._owner.resident(entity_type, part, from_cache=False)
         return embeddings, optim_state
 
-    def save(
+    def save(  # lint: no-lock (locks in _save)
         self,
         entity_type: str,
         part: int,
         embeddings: np.ndarray,
         optim_state: np.ndarray,
         dirty_rows: "np.ndarray | None" = None,
+    ) -> None:
+        with telemetry.span(
+            "backend.save", cat="transfer", entity=entity_type, part=part
+        ) as sp:
+            self._save(sp, entity_type, part, embeddings, optim_state,
+                       dirty_rows)
+
+    def _save(
+        self, sp, entity_type, part, embeddings, optim_state, dirty_rows
     ) -> None:
         key = (entity_type, part)
         num_rows, dim = embeddings.shape
@@ -453,10 +565,10 @@ class PartitionServerStorage:  # public-guard: _lock
             # our baseline, the stored copy is already exact — skip the
             # transfer entirely.
             if self.server.version(entity_type, part) == base:
-                with self._lock:
-                    self.io_seconds += time.perf_counter() - t0
-                    self.saves += 1
-                    self.delta_skips += 1
+                self._c_io_seconds.inc(time.perf_counter() - t0)
+                self._c_saves.inc()
+                self._c_delta_skips.inc()
+                sp.note(skipped=True, wire_bytes=0)
                 if self._owner is not None:
                     self._owner.saved(entity_type, part)
                 return
@@ -474,19 +586,23 @@ class PartitionServerStorage:  # public-guard: _lock
                 base,
             )
             if version is not None:
-                with self._lock:
-                    self.delta_pushes += 1
-                self._wire(len(dirty_rows), dim, outbound=True, delta=True)
+                self._c_delta_pushes.inc()
+                sp.note(
+                    delta=True,
+                    wire_bytes=self._wire(
+                        len(dirty_rows), dim, outbound=True, delta=True
+                    ),
+                )
             else:
-                with self._lock:
-                    self.delta_fallbacks += 1
+                self._c_delta_fallbacks.inc()
         if version is None:
-            version = self.server.put(entity_type, part, embeddings, optim_state)
-            self._wire(num_rows, dim, outbound=True)
-        elapsed = time.perf_counter() - t0
+            version = self.server.put(
+                entity_type, part, embeddings, optim_state
+            )
+            sp.note(wire_bytes=self._wire(num_rows, dim, outbound=True))
+        self._c_io_seconds.inc(time.perf_counter() - t0)
+        self._c_saves.inc()
         with self._lock:
-            self.io_seconds += elapsed
-            self.saves += 1
             self._versions[key] = version
         if self._owner is not None:
             self._owner.saved(entity_type, part)

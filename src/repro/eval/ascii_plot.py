@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["ascii_plot"]
+__all__ = ["ascii_gantt", "ascii_plot"]
 
 _MARKERS = "ox+*#@%&"
 
@@ -64,4 +64,49 @@ def ascii_plot(
         " " * 10 + f"{x_lo:<10.1f}{x_label:^{max(width - 20, 4)}}{x_hi:>10.1f}"
     )
     lines.append(" " * 10 + f"[y: {y_label}]   " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_gantt(
+    lanes: "dict[str, list[tuple[float, float, str]]]",
+    width: int = 64,
+    t_lo: "float | None" = None,
+    t_hi: "float | None" = None,
+    time_label: str = "seconds",
+) -> str:
+    """Render a timeline: one row per lane, intervals as marker runs.
+
+    ``lanes`` maps a lane name to ``(start, end, marker)`` intervals in
+    a shared time unit. Later intervals overwrite earlier ones where
+    they collide in a cell; sub-cell intervals still paint one cell so
+    short events stay visible. Returns a multi-line string.
+    """
+    if not lanes:
+        raise ValueError("need at least one lane")
+    if width < 8:
+        raise ValueError("timeline must be at least 8 columns")
+    spans = [iv for ivs in lanes.values() for iv in ivs]
+    if t_lo is None:
+        t_lo = min((iv[0] for iv in spans), default=0.0)
+    if t_hi is None:
+        t_hi = max((iv[1] for iv in spans), default=1.0)
+    t_span = (t_hi - t_lo) or 1.0
+
+    name_w = max(len(name) for name in lanes)
+    lines = []
+    for name, ivs in lanes.items():
+        row = [" "] * width
+        for start, end, marker in ivs:
+            if not (math.isfinite(start) and math.isfinite(end)):
+                continue
+            c0 = int((start - t_lo) / t_span * (width - 1))
+            c1 = int((end - t_lo) / t_span * (width - 1))
+            for col in range(max(c0, 0), min(c1, width - 1) + 1):
+                row[col] = marker[0] if marker else "#"
+        lines.append(f"{name:>{name_w}} |" + "".join(row))
+    lines.append(" " * (name_w + 1) + "+" + "-" * width)
+    lines.append(
+        " " * (name_w + 1)
+        + f"{t_lo:<12.3f}{time_label:^{max(width - 24, 4)}}{t_hi:>12.3f}"
+    )
     return "\n".join(lines)

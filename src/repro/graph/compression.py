@@ -45,6 +45,8 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = [
     "CODEC_NAMES",
     "CODEC_KEY",
@@ -90,17 +92,38 @@ class PartitionCodec(abc.ABC):
 
     name: str
 
-    @abc.abstractmethod
     def encode(
         self, embeddings: np.ndarray, optim_state: np.ndarray
     ) -> "dict[str, np.ndarray]":
-        """Encode to a wire payload (always includes the codec marker)."""
+        """Encode to a wire payload (always includes the codec marker).
 
-    @abc.abstractmethod
+        Template method: concrete codecs implement :meth:`_encode`; the
+        wrapper adds a telemetry span (inert unless tracing is armed).
+        """
+        with telemetry.span(
+            "codec.encode", cat="codec", codec=self.name,
+            rows=len(embeddings),
+        ):
+            return self._encode(embeddings, optim_state)
+
     def decode(
         self, payload: "Mapping[str, np.ndarray]"
     ) -> "tuple[np.ndarray, np.ndarray]":
         """Decode a payload back to fresh fp32 ``(embeddings, state)``."""
+        with telemetry.span("codec.decode", cat="codec", codec=self.name):
+            return self._decode(payload)
+
+    @abc.abstractmethod
+    def _encode(
+        self, embeddings: np.ndarray, optim_state: np.ndarray
+    ) -> "dict[str, np.ndarray]":
+        """Codec-specific encode body."""
+
+    @abc.abstractmethod
+    def _decode(
+        self, payload: "Mapping[str, np.ndarray]"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Codec-specific decode body."""
 
     @abc.abstractmethod
     def row_nbytes(self, dim: int) -> int:
@@ -115,14 +138,14 @@ class NoneCodec(PartitionCodec):
 
     name = "none"
 
-    def encode(self, embeddings, optim_state):
+    def _encode(self, embeddings, optim_state):
         return {
             CODEC_KEY: self._marker(),
             "embeddings": _as_f32(embeddings, copy=True),
             _STATE_KEY: _as_f32(optim_state, copy=True),
         }
 
-    def decode(self, payload):
+    def _decode(self, payload):
         return (
             _as_f32(payload["embeddings"], copy=True),
             _as_f32(payload[_STATE_KEY], copy=True),
@@ -137,14 +160,14 @@ class Fp16Codec(PartitionCodec):
 
     name = "fp16"
 
-    def encode(self, embeddings, optim_state):
+    def _encode(self, embeddings, optim_state):
         return {
             CODEC_KEY: self._marker(),
             "embeddings_fp16": _as_f32(embeddings).astype(np.float16),
             _STATE_KEY: _as_f32(optim_state, copy=True),
         }
 
-    def decode(self, payload):
+    def _decode(self, payload):
         return (
             payload["embeddings_fp16"].astype(np.float32),
             _as_f32(payload[_STATE_KEY], copy=True),
@@ -166,7 +189,7 @@ class Int8Codec(PartitionCodec):
 
     name = "int8"
 
-    def encode(self, embeddings, optim_state):
+    def _encode(self, embeddings, optim_state):
         emb = _as_f32(embeddings)
         if emb.size:
             scales = (np.abs(emb).max(axis=1) / 127.0).astype(np.float32)
@@ -183,7 +206,7 @@ class Int8Codec(PartitionCodec):
             _STATE_KEY: _as_f32(optim_state, copy=True),
         }
 
-    def decode(self, payload):
+    def _decode(self, payload):
         codes = payload["embeddings_q8"]
         scales = _as_f32(payload["scales"])
         emb = codes.astype(np.float32) * scales[:, None]

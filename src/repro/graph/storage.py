@@ -42,8 +42,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis import hooks
 from repro.graph import compression
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = [
     "PartitionedEmbeddingStorage",
@@ -111,10 +113,14 @@ class PartitionedEmbeddingStorage:
             raise ValueError(
                 "embeddings and optimizer state must have matching rows"
             )
-        _atomic_savez(
-            self._path(entity_type, part),
-            **self.codec.encode(embeddings, optim_state),
-        )
+        with telemetry.span(
+            "storage.save", cat="transfer", entity=entity_type, part=part,
+            bytes=int(embeddings.nbytes + optim_state.nbytes),
+        ):
+            _atomic_savez(
+                self._path(entity_type, part),
+                **self.codec.encode(embeddings, optim_state),
+            )
 
     def load(
         self, entity_type: str, part: int
@@ -124,12 +130,17 @@ class PartitionedEmbeddingStorage:
         if not path.exists():
             raise StorageError(f"no stored partition at {path}")
         try:
-            with np.load(path) as data:
-                payload = {k: data[k] for k in data.files}
-            codec = compression.get_codec(
-                compression.payload_codec_name(payload)
-            )
-            return codec.decode(payload)
+            with telemetry.span(
+                "storage.load", cat="transfer", entity=entity_type, part=part,
+            ) as sp:
+                with np.load(path) as data:
+                    payload = {k: data[k] for k in data.files}
+                codec = compression.get_codec(
+                    compression.payload_codec_name(payload)
+                )
+                embeddings, optim_state = codec.decode(payload)
+                sp.note(bytes=int(embeddings.nbytes + optim_state.nbytes))
+                return embeddings, optim_state
         except (OSError, KeyError, ValueError) as exc:
             raise StorageError(f"corrupt partition file {path}: {exc}") from exc
 
@@ -186,6 +197,8 @@ class WritebackQueue:  # public-guard: _cv
         self,
         storage: PartitionedEmbeddingStorage,
         max_pending: int | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        name: str = "partition-writeback",
     ) -> None:
         self.storage = storage
         self.max_pending = max_pending
@@ -194,14 +207,25 @@ class WritebackQueue:  # public-guard: _cv
         self._pending: "dict[tuple[str, int], int]" = {}  # guarded-by: _cv
         self._error: BaseException | None = None  # guarded-by: _cv
         self._closed = False  # guarded-by: _cv
-        #: cumulative seconds callers spent blocked on this queue
-        self.stall_seconds = 0.0  # guarded-by: _cv
-        #: completed background writes
-        self.writes = 0  # guarded-by: _cv
+        # Counters carry their own leaf locks; incrementing under _cv
+        # is safe (counter locks never acquire anything).
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_stall = self._metrics.counter("writeback.stall_seconds")
+        self._m_writes = self._metrics.counter("writeback.writes")
         self._thread = threading.Thread(
-            target=self._run, name="partition-writeback", daemon=True
+            target=self._run, name=name, daemon=True
         )
         self._thread.start()
+
+    @property
+    def stall_seconds(self) -> float:  # lint: no-lock (counter-backed)
+        """Cumulative seconds callers spent blocked on this queue."""
+        return self._m_stall.value
+
+    @property
+    def writes(self) -> int:  # lint: no-lock (counter-backed)
+        """Completed background writes."""
+        return int(self._m_writes.value)
 
     # -- caller side ---------------------------------------------------
 
@@ -236,7 +260,7 @@ class WritebackQueue:  # public-guard: _cv
                     and self._error is None
                 ):
                     self._cv.wait()
-                self.stall_seconds += time.perf_counter() - t0
+                self._m_stall.inc(time.perf_counter() - t0)
                 self._raise_if_failed()
             self._jobs.append(
                 (key, embeddings, optim_state, dirty_rows, on_done)
@@ -254,26 +278,30 @@ class WritebackQueue:  # public-guard: _cv
         seconds spent blocked (also accumulated in ``stall_seconds``)."""
         key = (entity_type, part)
         t0 = time.perf_counter()
-        with self._cv:
-            while self._pending.get(key, 0) > 0 and self._error is None:
-                self._cv.wait()
-            elapsed = time.perf_counter() - t0
-            self.stall_seconds += elapsed
-            self._raise_if_failed()
+        with telemetry.span(
+            "writeback.wait", cat="stall", entity=entity_type, part=part
+        ):
+            with self._cv:
+                while self._pending.get(key, 0) > 0 and self._error is None:
+                    self._cv.wait()
+                elapsed = time.perf_counter() - t0
+                self._m_stall.inc(elapsed)
+                self._raise_if_failed()
         return elapsed
 
     def drain(self) -> float:
         """Block until every submitted write has landed (the checkpoint
         barrier); returns the seconds spent blocked."""
         t0 = time.perf_counter()
-        with self._cv:
-            while (
-                (self._jobs or self._pending) and self._error is None
-            ):
-                self._cv.wait()
-            elapsed = time.perf_counter() - t0
-            self.stall_seconds += elapsed
-            self._raise_if_failed()
+        with telemetry.span("writeback.drain", cat="stall"):
+            with self._cv:
+                while (
+                    (self._jobs or self._pending) and self._error is None
+                ):
+                    self._cv.wait()
+                elapsed = time.perf_counter() - t0
+                self._m_stall.inc(elapsed)
+                self._raise_if_failed()
         return elapsed
 
     def close(self) -> None:
@@ -305,13 +333,19 @@ class WritebackQueue:  # public-guard: _cv
                     key, embeddings, optim_state, dirty_rows, on_done,
                 ) = self._jobs.popleft()
             try:
-                if dirty_rows is None:
-                    self.storage.save(key[0], key[1], embeddings, optim_state)
-                else:
-                    self.storage.save(
-                        key[0], key[1], embeddings, optim_state,
-                        dirty_rows=dirty_rows,
-                    )
+                with telemetry.span(
+                    "writeback.write", cat="transfer",
+                    entity=key[0], part=key[1],
+                ):
+                    if dirty_rows is None:
+                        self.storage.save(
+                            key[0], key[1], embeddings, optim_state
+                        )
+                    else:
+                        self.storage.save(
+                            key[0], key[1], embeddings, optim_state,
+                            dirty_rows=dirty_rows,
+                        )
                 if on_done is not None:
                     on_done()
             except BaseException as exc:  # surfaced on the caller side
@@ -321,8 +355,8 @@ class WritebackQueue:  # public-guard: _cv
                     self._pending.clear()
                     self._cv.notify_all()
                 return
+            self._m_writes.inc()
             with self._cv:
-                self.writes += 1
                 self._pending[key] -= 1
                 if self._pending[key] == 0:
                     del self._pending[key]
@@ -381,6 +415,7 @@ class PartitionCache:  # public-guard: _lock
         storage: PartitionedEmbeddingStorage,
         budget_bytes: int | None = None,
         writeback: WritebackQueue | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if budget_bytes is not None and budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0 or None")
@@ -392,14 +427,28 @@ class PartitionCache:  # public-guard: _lock
         self._entries: "OrderedDict[tuple[str, int], _CacheEntry]" = (
             OrderedDict()
         )
-        #: partitions served from memory / read synchronously from disk
-        self.hits = 0  # guarded-by: _lock
-        self.misses = 0  # guarded-by: _lock
-        #: entries dropped to stay under the byte budget
-        self.evictions = 0  # guarded-by: _lock
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_hits = self._metrics.counter("cache.hits")
+        self._m_misses = self._metrics.counter("cache.misses")
+        self._m_evictions = self._metrics.counter("cache.evictions")
         #: ownership-harness view (repro.analysis.lockdep), set by the
         #: owning PartitionPipeline when the harness is active
         self._owner = None
+
+    @property
+    def hits(self) -> int:  # lint: no-lock (counter-backed)
+        """Partitions served from memory."""
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:  # lint: no-lock (counter-backed)
+        """Partitions read synchronously from the backing store."""
+        return int(self._m_misses.value)
+
+    @property
+    def evictions(self) -> int:  # lint: no-lock (counter-backed)
+        """Entries dropped to stay under the byte budget."""
+        return int(self._m_evictions.value)
 
     # ------------------------------------------------------------------
 
@@ -488,7 +537,7 @@ class PartitionCache:  # public-guard: _lock
                 )
                 if not pending:
                     del self._entries[key]
-                    self.hits += 1
+                    self._m_hits.inc()
                     return entry.embeddings, entry.optim_state
             # Wait outside the lock: the writer's mark_clean callback
             # needs it to flip the entry before notifying us.
@@ -497,8 +546,7 @@ class PartitionCache:  # public-guard: _lock
             embeddings, optim_state = self.storage.load(entity_type, part)
         except StorageError:
             return None
-        with self._lock:
-            self.misses += 1
+        self._m_misses.inc()
         return embeddings, optim_state
 
     def contains(self, entity_type: str, part: int) -> bool:
@@ -580,7 +628,7 @@ class PartitionCache:  # public-guard: _lock
                         saved = (key, entry)
                 else:
                     del self._entries[key]
-                    self.evictions += 1
+                    self._m_evictions.inc()
                     if self._owner is not None:
                         self._owner.dropped(key[0], key[1])
                     continue
@@ -631,20 +679,29 @@ class PartitionPipeline:
         storage,
         budget_bytes: int | None = None,
         validate: "Callable[[str, int], bool] | None" = None,
+        name: str = "partition",
     ) -> None:
         self.storage = storage
         self.budget_bytes = budget_bytes
         self.validate = validate
-        self.writeback = WritebackQueue(storage)
+        #: shared registry the pipeline's counters (and its queue's and
+        #: cache's) live in; ``*Stats`` objects snapshot it
+        self.metrics = MetricsRegistry()
+        self.writeback = WritebackQueue(
+            storage, metrics=self.metrics, name=f"{name}-writeback"
+        )
         self.cache = PartitionCache(
-            storage, budget_bytes=budget_bytes, writeback=self.writeback
+            storage, budget_bytes=budget_bytes, writeback=self.writeback,
+            metrics=self.metrics,
         )
         self._pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="partition-prefetch"
+            max_workers=1, thread_name_prefix=f"{name}-prefetch"
         )
+        self._m_take_hits = self.metrics.counter("pipeline.take_hits")
+        self._m_take_misses = self.metrics.counter("pipeline.take_misses")
+        self._m_stale = self.metrics.counter("pipeline.stale_hits")
+        self._m_wait = self.metrics.counter("pipeline.wait_seconds")
         self._futures: "dict[tuple[str, int], object]" = {}  # owned-by: main
-        #: cache hits invalidated because the backend had newer bytes
-        self.stale_hits = 0  # owned-by: main
         tracker = hooks.ownership_tracker()
         if tracker is None:
             self._owner = None
@@ -659,6 +716,28 @@ class PartitionPipeline:
                 stand_down()
         self.cache._owner = self._owner
 
+    # -- derived counters ----------------------------------------------
+
+    @property
+    def stale_hits(self) -> int:
+        """Cache hits invalidated because the backend had newer bytes."""
+        return int(self._m_stale.value)
+
+    @property
+    def prefetch_hits(self) -> int:
+        """take() calls served from the cache (and still valid)."""
+        return int(self._m_take_hits.value)
+
+    @property
+    def prefetch_misses(self) -> int:
+        """take() calls that fell through to a synchronous backend read."""
+        return int(self._m_take_misses.value)
+
+    @property
+    def prefetch_wait_seconds(self) -> float:
+        """Cumulative seconds settle() blocked on in-flight prefetches."""
+        return self._m_wait.value
+
     # ------------------------------------------------------------------
 
     def settle(self) -> float:
@@ -667,10 +746,13 @@ class PartitionPipeline:
         if not self._futures:
             return 0.0
         t0 = time.perf_counter()
-        for fut in self._futures.values():
-            fut.result()
+        with telemetry.span("prefetch.settle", cat="stall"):
+            for fut in self._futures.values():
+                fut.result()
         self._futures = {}
-        return time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self._m_wait.inc(elapsed)
+        return elapsed
 
     def park(
         self,
@@ -710,8 +792,9 @@ class PartitionPipeline:
                         self._owner.resident(
                             entity_type, part, from_cache=True
                         )
+                    self._m_take_hits.inc()
                     return got, True
-                self.stale_hits += 1
+                self._m_stale.inc()
                 if self._owner is not None:
                     self._owner.dropped(entity_type, part)
         try:
@@ -722,6 +805,7 @@ class PartitionPipeline:
             # None means the caller initialises the partition; either
             # way it is resident on the main thread from here.
             self._owner.resident(entity_type, part, from_cache=False)
+        self._m_take_misses.inc()
         return got, False
 
     def schedule(self, keys) -> int:
@@ -748,7 +832,11 @@ class PartitionPipeline:
         does not have is simply skipped (the main thread initialises
         it)."""
         try:
-            embeddings, optim_state = self.storage.load(*key)
+            with telemetry.span(
+                "prefetch.fetch", cat="transfer",
+                entity=key[0], part=key[1],
+            ):
+                embeddings, optim_state = self.storage.load(*key)
         except StorageError:
             return
         if self._owner is not None:
@@ -761,8 +849,9 @@ class PartitionPipeline:
         """Flush every dirty cache entry and drain the writeback queue
         (the checkpoint / epoch-end barrier); returns seconds blocked."""
         t0 = time.perf_counter()
-        self.cache.flush_dirty()
-        self.writeback.drain()
+        with telemetry.span("pipeline.drain", cat="stall"):
+            self.cache.flush_dirty()
+            self.writeback.drain()
         return time.perf_counter() - t0
 
     def close(self) -> None:

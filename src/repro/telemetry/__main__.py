@@ -1,0 +1,68 @@
+"""Trace analyzer CLI: ``python -m repro.telemetry TRACE.json``.
+
+Reads a Chrome ``trace_event`` JSON file captured with ``--trace`` (or
+a benchmark's ``--trace``) and prints overlap efficiency, the
+per-bucket critical-path breakdown, lock hold/wait times, and an ASCII
+Gantt timeline. ``--assert-overlap`` makes it usable as a CI smoke
+check: exit non-zero unless some transfer time was hidden under
+compute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.telemetry.analyze import analyze_chrome, load_trace, render_report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Analyze a Chrome trace captured with --trace.",
+    )
+    parser.add_argument("trace", help="path to a trace_event JSON file")
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest buckets to show (default 5)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=72,
+        help="Gantt timeline width in columns (default 72)",
+    )
+    parser.add_argument(
+        "--no-gantt", action="store_true",
+        help="skip the ASCII timeline (summary sections only)",
+    )
+    parser.add_argument(
+        "--assert-overlap", action="store_true",
+        help="exit 1 unless overlap efficiency is > 0 (CI smoke check)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        trace = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    analysis = analyze_chrome(trace)
+    print(
+        render_report(
+            analysis,
+            trace=None if args.no_gantt else trace,
+            top=args.top,
+            width=args.width,
+        )
+    )
+    if args.assert_overlap and not analysis.overlap_efficiency > 0.0:
+        print(
+            "FAIL: overlap efficiency is zero — no transfer time was "
+            "hidden under compute",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+This is the substrate the end-of-run ``*Stats`` dataclasses are derived
+from.  Components create instruments once (at ``__init__`` time, so the
+hot path pays one attribute load + one locked float add) and the stats
+objects are *snapshots* of the registry rather than hand-incremented
+twins of it.  Instruments are always live — unlike the span tracer there
+is no disabled mode, because the counters feed user-visible summaries.
+
+Thread-safety: every instrument carries its own leaf lock.  Instrument
+methods never call out while holding it, so instrument locks can never
+participate in a lock-order cycle no matter which component lock the
+caller already holds (see CONCURRENCY.md).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+def metric_key(name: str, labels: "dict[str, object]") -> str:
+    """Canonical registry key: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing float (use ``int(c.value)`` for counts)."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self._lock = threading.Lock()
+        self._value = 0.0  # guarded-by: _lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-written value, with a high-water mark for peak tracking."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self._lock = threading.Lock()
+        self._value = 0.0  # guarded-by: _lock
+        self._max = 0.0  # guarded-by: _lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max) of observed values."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._total = 0.0  # guarded-by: _lock
+        self._min = None  # guarded-by: _lock
+        self._max = None  # guarded-by: _lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def summary(self) -> "dict[str, float]":
+        with self._lock:
+            count = self._count
+            total = self._total
+            lo = self._min
+            hi = self._max
+        mean = total / count if count else 0.0
+        return {
+            "count": float(count),
+            "total": total,
+            "mean": mean,
+            "min": 0.0 if lo is None else float(lo),
+            "max": 0.0 if hi is None else float(hi),
+        }
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+
+class MetricsRegistry:  # public-guard: _lock
+    """Get-or-create home for instruments, keyed by name + labels.
+
+    The registry lock only protects the instrument *map*; once a caller
+    holds an instrument reference, updates go through the instrument's
+    own leaf lock and never touch the registry again.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics = {}  # guarded-by: _lock
+
+    def _get(self, cls, name: str, labels: "dict[str, object]"):
+        key = metric_key(name, labels)
+        with self._lock:
+            inst = self._metrics.get(key)
+            if inst is None:
+                inst = cls(key)
+                self._metrics[key] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {key!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name, **labels) -> Counter:  # lint: no-lock (_get locks)
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name, **labels) -> Gauge:  # lint: no-lock (_get locks)
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name, **labels):  # lint: no-lock (_get locks)
+        return self._get(Histogram, name, labels)
+
+    def snapshot(self) -> "dict[str, object]":
+        """Point-in-time value of every instrument, keyed canonically."""
+        with self._lock:
+            items = list(self._metrics.items())
+        out: "dict[str, object]" = {}
+        for key, inst in items:
+            if isinstance(inst, Histogram):
+                out[key] = inst.summary()
+            else:
+                out[key] = inst.value
+        return out

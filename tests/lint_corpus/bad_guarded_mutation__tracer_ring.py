@@ -1,0 +1,31 @@
+"""Seeded violation: the telemetry tracer's ring-buffer pattern with
+the recording path mutating guarded state outside the lock.
+
+The lint must report ``guarded-mutation`` for the unlocked drop counter
+bump, ring append, and lane-map store in ``record`` — the exact
+mutations ``repro.telemetry.Tracer._record`` performs under ``_lock``.
+"""
+
+import threading
+from collections import deque
+
+
+class RingTracer:
+    def __init__(self, capacity: int) -> None:
+        self._lock = threading.Lock()
+        self._events = deque(maxlen=capacity)  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
+        self._lane_of_ident = {}  # guarded-by: _lock
+
+    def record(self, event, ident: int, lane: str) -> None:
+        if len(self._events) == self._events.maxlen:
+            self._dropped += 1  # BAD: no lock held
+        self._lane_of_ident[ident] = lane  # BAD: no lock held
+        self._events.append(event)  # BAD: no lock held
+
+    def record_locked(self, event, ident: int, lane: str) -> None:
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self._dropped += 1  # fine: lock held
+            self._lane_of_ident[ident] = lane
+            self._events.append(event)

@@ -167,7 +167,7 @@ class TestTrainEvalExport:
         p2.write_text(config.to_json())
         rc = main([
             "train", "--config", str(p2), "--edges", str(train_path),
-            "--pipeline",
+            "--pipeline", "--verbose",
             "--checkpoint", str(tmp_path / "dmodel"),
         ])
         out = capsys.readouterr().out
@@ -222,6 +222,7 @@ class TestCompressionFlags:
             "train", "--config", str(p2), "--edges", str(train_path),
             "--checkpoint", str(tmp_path / "dmodel"),
             "--partition-compression", "int8", "--writeback-delta",
+            "--verbose",
         ])
         out = capsys.readouterr().out
         assert rc == 0

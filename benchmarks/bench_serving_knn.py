@@ -1,0 +1,282 @@
+"""Serving k-NN: IVF(-PQ) QPS/recall sweep vs the exact scan.
+
+The serving layer's pitch (SERVING.md) is a knob, not a point: spend
+recall, buy QPS. This benchmark measures that trade on clustered
+synthetic embeddings (the regime trained graph embeddings actually
+live in — see the recall tests in ``tests/test_serving.py``):
+
+- ``exact``   — the brute-force chunked scan, recall-1.0 baseline;
+- ``ivf``     — IVF coarse quantizer, float lists, ``nprobe`` sweep;
+- ``ivfpq``   — PQ-coded lists + refine; on a numpy/CPU stack its win
+  is *memory* (codes ~= n*M bytes vs n*d*4), not QPS — BLAS matmuls
+  out-run table gathers — so it is gated on footprint + recall, while
+  the speedup gate rides on the float-IVF configurations.
+
+Each config reports build seconds, QPS, speedup over exact,
+recall@10 against the exact top-10, and resident index bytes. A final
+phase publishes the table as a v1 mmap snapshot, republishes as v2 and
+drives a polling :class:`QueryService` across the swap to assert the
+version moves cleanly and every retired snapshot drains.
+
+Gates (non-zero exit on failure):
+
+- full mode: some float-IVF config reaches ``>= 5x`` QPS over exact at
+  recall@10 ``>= 0.95``;
+- quick mode (CI): best config recall@10 ``>= 0.9`` — correctness
+  only, the tiny workload makes speedups noise;
+- both: the PQ config's index bytes ``<= 30%`` of the exact scan's
+  resident matrix, at recall@10 ``>= 0.7`` with refine on;
+- the snapshot swap completes: final served version is v2, no retired
+  snapshot left pinned.
+
+A machine-readable summary is written to ``BENCH_serving.json``
+(``--json PATH`` to redirect) for CI artifact upload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_knn.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a plain script without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import telemetry
+from repro.serving import (
+    ExactIndex,
+    IVFPQIndex,
+    QueryService,
+    SnapshotManager,
+    publish_embeddings,
+)
+
+from common import append_history, provenance
+
+COMPARATOR = "cos"
+
+
+def clustered_dataset(num_clusters, per_cluster, dim, num_queries, seed=0):
+    """Gaussian blobs + slightly perturbed member rows as queries."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_clusters, dim)) * 4.0
+    emb = np.vstack([
+        centers[i] + 0.5 * rng.standard_normal((per_cluster, dim))
+        for i in range(num_clusters)
+    ]).astype(np.float32)
+    picks = rng.choice(len(emb), num_queries, replace=False)
+    queries = (
+        emb[picks] + 0.05 * rng.standard_normal((num_queries, dim))
+    ).astype(np.float32)
+    return emb, queries
+
+
+def recall_at_k(idx, true_idx):
+    k = true_idx.shape[1]
+    return float(np.mean([
+        len(np.intersect1d(a, b)) / k for a, b in zip(idx, true_idx)
+    ]))
+
+
+def measure(index, emb, queries, k, true_idx=None):
+    """Build + timed query pass; returns a report row."""
+    t0 = time.perf_counter()
+    index.build(emb)
+    build_s = time.perf_counter() - t0
+    index.query(queries[:8], k=k)  # warm any lazy state
+    t0 = time.perf_counter()
+    idx, _ = index.query(queries, k=k)
+    query_s = time.perf_counter() - t0
+    return {
+        "build_seconds": build_s,
+        "query_seconds": query_s,
+        "qps": len(queries) / query_s,
+        "nbytes": index.nbytes(),
+        "recall_at_k": (
+            1.0 if true_idx is None else recall_at_k(idx, true_idx)
+        ),
+    }, idx
+
+
+def swap_check(emb, queries, k):
+    """Publish v1, serve, republish v2, poll across the swap."""
+    with tempfile.TemporaryDirectory() as root:
+        publish_embeddings(root, emb, comparator=COMPARATOR)
+        manager = SnapshotManager(root)
+        manager.refresh()
+        service = QueryService(
+            manager, batch_size=max(1, len(queries) // 4),
+            auto_refresh=True,
+        )
+        _, _, v_before = service.query_pinned(queries[:4], k=k)
+        publish_embeddings(root, emb, comparator=COMPARATOR)
+        service.query(queries, k=k)  # polls CURRENT between batches
+        _, _, v_after = service.query_pinned(queries[:4], k=k)
+        stats = service.stats()
+        out = {
+            "version_before": v_before,
+            "version_after": v_after,
+            "swaps": stats.swaps,
+            "retired_pinned": manager.retired_count(),
+            "clean": v_before == 1 and v_after == 2
+            and manager.retired_count() == 0,
+        }
+        manager.close()
+        return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small dataset, correctness gates only")
+    parser.add_argument("--json", default="BENCH_serving.json",
+                        help="write the report here ('' to skip)")
+    parser.add_argument("--history", default=None,
+                        help="append the report to this BENCH_history.jsonl")
+    parser.add_argument("--trace", default=None,
+                        help="write a Chrome trace of the run")
+    parser.add_argument("--k", type=int, default=10)
+    args = parser.parse_args(argv)
+
+    tracer = telemetry.enable() if args.trace else None
+    if tracer is not None:
+        telemetry.set_lane("bench.serving")
+
+    if args.quick:
+        num_clusters, per_cluster, dim, num_queries = 80, 50, 32, 400
+        ivf_lists, probes, pq_m = 64, (4, 8), 8
+    else:
+        num_clusters, per_cluster, dim, num_queries = 200, 100, 64, 1000
+        ivf_lists, probes, pq_m = 128, (2, 4, 8, 16), 16
+
+    emb, queries = clustered_dataset(
+        num_clusters, per_cluster, dim, num_queries
+    )
+    print(f"dataset: {len(emb)} x {dim} ({num_clusters} clusters), "
+          f"{num_queries} queries, k={args.k}")
+
+    configs = [("exact", ExactIndex(comparator=COMPARATOR))]
+    for nprobe in probes:
+        configs.append((
+            f"ivf[l={ivf_lists},p={nprobe}]",
+            IVFPQIndex(
+                comparator=COMPARATOR, num_lists=ivf_lists, nprobe=nprobe
+            ),
+        ))
+    pq_probe = probes[-1]
+    configs.append((
+        f"ivfpq[l={ivf_lists},p={pq_probe},m={pq_m},r=8]",
+        IVFPQIndex(
+            comparator=COMPARATOR, num_lists=ivf_lists, nprobe=pq_probe,
+            pq_subvectors=pq_m, refine=8,
+        ),
+    ))
+
+    rows = {}
+    true_idx = None
+    exact_row = None
+    for name, index in configs:
+        row, idx = measure(index, emb, queries, args.k, true_idx)
+        if name == "exact":
+            true_idx = idx
+            exact_row = row
+        row["speedup"] = row["qps"] / exact_row["qps"]
+        rows[name] = row
+        print(f"  {name:32s} build {row['build_seconds']:6.2f}s  "
+              f"{row['qps']:8.0f} QPS ({row['speedup']:5.1f}x)  "
+              f"recall@{args.k} {row['recall_at_k']:.3f}  "
+              f"{row['nbytes'] / 1e6:6.2f} MB")
+
+    swap = swap_check(emb, queries, args.k)
+    print(f"snapshot swap: v{swap['version_before']} -> "
+          f"v{swap['version_after']}, {swap['swaps']} swaps, "
+          f"{swap['retired_pinned']} retired pinned "
+          f"({'clean' if swap['clean'] else 'DIRTY'})")
+
+    report = {
+        "benchmark": "serving_knn",
+        "params": {
+            "quick": args.quick,
+            "num_items": len(emb),
+            "dim": dim,
+            "num_clusters": num_clusters,
+            "num_queries": num_queries,
+            "k": args.k,
+            "comparator": COMPARATOR,
+            "num_lists": ivf_lists,
+        },
+        "configs": rows,
+        "swap": swap,
+    }
+    report["provenance"] = provenance(report["params"])
+    if tracer is not None:
+        try:
+            tracer.export(args.trace)
+            print(f"trace written to {args.trace}")
+        finally:
+            telemetry.disable()
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"results written to {args.json}")
+    if args.history:
+        append_history(report, args.history)
+
+    # ----- gates ------------------------------------------------------
+    failures = []
+    ivf_rows = {
+        name: r for name, r in rows.items() if name.startswith("ivf[")
+    }
+    pq_rows = {
+        name: r for name, r in rows.items() if name.startswith("ivfpq[")
+    }
+    best_recall = max(r["recall_at_k"] for r in rows.values())
+    if args.quick:
+        if best_recall < 0.9:
+            failures.append(
+                f"best recall@{args.k} {best_recall:.3f} < 0.9"
+            )
+    else:
+        fast_enough = [
+            (name, r) for name, r in ivf_rows.items()
+            if r["recall_at_k"] >= 0.95 and r["speedup"] >= 5.0
+        ]
+        if not fast_enough:
+            failures.append(
+                "no float-IVF config reached >= 5x QPS over exact at "
+                "recall@10 >= 0.95"
+            )
+        else:
+            name, r = max(fast_enough, key=lambda nr: nr[1]["speedup"])
+            print(f"gate: {name} at {r['speedup']:.1f}x QPS, "
+                  f"recall {r['recall_at_k']:.3f}")
+    for name, r in pq_rows.items():
+        if r["nbytes"] > 0.3 * exact_row["nbytes"]:
+            failures.append(
+                f"{name}: index bytes {r['nbytes']} > 30% of the "
+                f"exact matrix ({exact_row['nbytes']})"
+            )
+        if r["recall_at_k"] < 0.7:
+            failures.append(
+                f"{name}: recall@{args.k} {r['recall_at_k']:.3f} < 0.7"
+            )
+    if not swap["clean"]:
+        failures.append(f"snapshot swap was not clean: {swap}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -586,4 +586,7 @@ def default_targets() -> "list[Path]":
         root / "core" / "trainer.py",
         root / "telemetry" / "tracer.py",
         root / "telemetry" / "metrics.py",
+        root / "serving" / "snapshot.py",
+        root / "serving" / "server.py",
+        root / "serving" / "shards.py",
     ]

@@ -288,6 +288,17 @@ def _cmd_eval(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
+    if args.format == "mmap":
+        from repro.serving import publish_checkpoint
+
+        version = publish_checkpoint(
+            args.output, args.checkpoint, args.entity_type
+        )
+        print(
+            f"published snapshot v{version} of {args.entity_type!r} "
+            f"to {args.output}"
+        )
+        return 0
     _, _, model, _ = load_model(args.checkpoint)
     embeddings = model.global_embeddings(args.entity_type)
     np.save(args.output, embeddings)
@@ -295,6 +306,140 @@ def _cmd_export(args: argparse.Namespace) -> int:
         f"wrote {embeddings.shape[0]} x {embeddings.shape[1]} embeddings "
         f"to {args.output}"
     )
+    return 0
+
+
+def _serving_config(args: argparse.Namespace):
+    """ServingConfig from --config (if given) + CLI overrides."""
+    import dataclasses
+
+    from repro.config import ServingConfig
+
+    if getattr(args, "config", None):
+        serving = ConfigSchema.from_json(
+            Path(args.config).read_text()
+        ).serving
+    else:
+        serving = ServingConfig()
+    overrides = {
+        name: getattr(args, name)
+        for name in (
+            "index", "num_lists", "nprobe", "pq_subvectors",
+            "refine", "batch_size",
+        )
+        if getattr(args, name, None) is not None
+    }
+    return dataclasses.replace(serving, **overrides) if overrides else serving
+
+
+def _open_service(args: argparse.Namespace, auto_refresh: bool = False):
+    """Build (manager, service) over the snapshot root, or raise."""
+    from repro.serving import (
+        QueryService,
+        ServingError,
+        SnapshotManager,
+        make_index,
+    )
+
+    serving = _serving_config(args)
+
+    def factory(table):
+        return make_index(serving, table.comparator).build(table)
+
+    manager = SnapshotManager(args.snapshots, index_factory=factory)
+    if not manager.refresh():
+        raise ServingError(
+            f"no published snapshot under {args.snapshots}; run "
+            f"'repro export --format mmap' first"
+        )
+    service = QueryService(
+        manager,
+        batch_size=serving.batch_size,
+        default_k=serving.default_k,
+        auto_refresh=auto_refresh,
+    )
+    return manager, service, serving
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Batch-serve a query file through the configured index."""
+    from repro.serving import ServingError
+
+    tracer = None
+    if args.trace:
+        tracer = telemetry.enable()
+        telemetry.set_lane("cli.serve")
+    try:
+        try:
+            manager, service, serving = _open_service(
+                args, auto_refresh=args.poll
+            )
+        except ServingError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        queries = np.load(args.queries)
+        idx, scores = service.query(queries, k=args.k)
+        if args.output:
+            np.savez(args.output, indices=idx, scores=scores)
+            print(f"results written to {args.output}")
+        stats = service.stats()
+        with manager.acquire() as snap:
+            print(
+                f"index: {serving.index} over {snap.index.num_items} "
+                f"items ({snap.index.nbytes() / 1e6:.1f} MB resident, "
+                f"snapshot v{snap.version})"
+            )
+        print(stats.summary())
+        manager.close()
+    finally:
+        if tracer is not None:
+            try:
+                tracer.export(args.trace)
+                print(f"trace written to {args.trace}")
+            finally:
+                telemetry.disable()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """One-shot neighbour lookup (by query file or entity ids)."""
+    from repro.serving import ServingError
+
+    try:
+        manager, service, _ = _open_service(args)
+    except ServingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    exclude = None
+    if args.ids is not None:
+        ids = np.asarray(
+            [int(tok) for tok in args.ids.split(",") if tok.strip()],
+            dtype=np.int64,
+        )
+        if not len(ids):
+            print("error: --ids is empty", file=sys.stderr)
+            return 2
+        with manager.acquire() as snap:
+            queries = snap.table.gather(ids)
+        exclude = ids  # an entity is not its own neighbour
+    else:
+        queries = np.load(args.queries)
+    idx, scores, version = service.query_pinned(
+        queries, k=args.k, exclude_self=exclude
+    )
+    labels = (
+        [str(i) for i in ids] if args.ids is not None
+        else [str(i) for i in range(len(queries))]
+    )
+    print(f"snapshot v{version}, top-{idx.shape[1]}:")
+    for label, row_idx, row_scores in zip(labels, idx, scores):
+        pairs = " ".join(
+            f"{int(j)}:{s:.4f}"
+            for j, s in zip(row_idx, row_scores)
+            if j >= 0
+        )
+        print(f"  {label}: {pairs}")
+    manager.close()
     return 0
 
 
@@ -361,11 +506,96 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--seed", type=int, default=0)
     p_eval.set_defaults(fn=_cmd_eval)
 
-    p_export = sub.add_parser("export", help="dump embeddings to .npy")
+    p_export = sub.add_parser(
+        "export", help="dump embeddings to .npy or publish mmap shards"
+    )
     p_export.add_argument("--checkpoint", required=True)
     p_export.add_argument("--entity-type", required=True)
-    p_export.add_argument("--output", required=True)
+    p_export.add_argument("--output", required=True,
+                          help=".npy path (--format npy) or snapshot "
+                               "root directory (--format mmap)")
+    p_export.add_argument("--format", choices=("npy", "mmap"),
+                          default="npy",
+                          help="npy: one dense array; mmap: a versioned "
+                               "snapshot of raw per-partition shards + "
+                               "manifest that 'repro serve' memory-maps "
+                               "(default: npy)")
     p_export.set_defaults(fn=_cmd_export)
+
+    def add_serving_args(p, with_batch: bool) -> None:
+        p.add_argument("--snapshots", required=True, metavar="DIR",
+                       help="snapshot root written by "
+                            "'export --format mmap'")
+        p.add_argument("--config", default=None,
+                       help="ConfigSchema JSON whose 'serving' section "
+                            "configures the index (CLI flags override)")
+        p.add_argument("--k", type=int, default=None,
+                       help="neighbours per query "
+                            "(default: serving.default_k)")
+        p.add_argument("--index", choices=("exact", "ivfpq"),
+                       default=None,
+                       help="index implementation (default: config "
+                            "value / exact)")
+        p.add_argument("--num-lists", type=int, default=None,
+                       dest="num_lists", metavar="L",
+                       help="IVF coarse cells (default: config value)")
+        p.add_argument("--nprobe", type=int, default=None, metavar="P",
+                       help="IVF cells scanned per query — the "
+                            "recall/latency knob (default: config "
+                            "value)")
+        p.add_argument("--pq-subvectors", type=int, default=None,
+                       dest="pq_subvectors", metavar="M",
+                       help="product-quantization subvectors; 0 stores "
+                            "full float vectors (default: config value)")
+        p.add_argument("--refine", type=int, default=None, metavar="R",
+                       help="re-score top k*R PQ candidates against "
+                            "raw vectors; 0 disables (default: config "
+                            "value)")
+        if with_batch:
+            p.add_argument("--batch-size", type=int, default=None,
+                           dest="batch_size", metavar="N",
+                           help="queries per pinned-snapshot batch "
+                                "(default: serving.batch_size)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="batch-serve a query file over a published snapshot",
+        description="Load the CURRENT snapshot, build the configured "
+                    "k-NN index, answer every query in --queries in "
+                    "batches, and print a QPS digest. With --poll, a "
+                    "snapshot published mid-stream is picked up at the "
+                    "next batch boundary (atomic swap, no downtime).",
+    )
+    add_serving_args(p_serve, with_batch=True)
+    p_serve.add_argument("--queries", required=True,
+                         help=".npy file of (q, d) query vectors")
+    p_serve.add_argument("--output", default=None, metavar="PATH",
+                         help="write results as .npz with 'indices' "
+                              "and 'scores' arrays")
+    p_serve.add_argument("--poll", action="store_true",
+                         help="re-check CURRENT between batches and "
+                              "hot-swap to newly published snapshots")
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a Chrome trace_event JSON of "
+                              "serve.query/serve.swap spans")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_query = sub.add_parser(
+        "query",
+        help="print nearest neighbours for a few queries",
+        description="One-shot lookup against the CURRENT snapshot: "
+                    "pass --ids to look up entities already in the "
+                    "table (self excluded), or --queries for a .npy "
+                    "of external query vectors.",
+    )
+    add_serving_args(p_query, with_batch=False)
+    group = p_query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--ids", default=None,
+                       help="comma-separated entity ids to look up, "
+                            "e.g. '0,17,42'")
+    group.add_argument("--queries", default=None,
+                       help=".npy file of (q, d) query vectors")
+    p_query.set_defaults(fn=_cmd_query)
     return parser
 
 

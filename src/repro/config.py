@@ -23,18 +23,20 @@ described by one object that can be checkpointed alongside the model.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping, Sequence
 
 __all__ = [
     "EntitySchema",
     "RelationSchema",
+    "ServingConfig",
     "ConfigSchema",
     "OPERATOR_NAMES",
     "COMPARATOR_NAMES",
     "LOSS_NAMES",
     "BUCKET_ORDER_NAMES",
     "COMPRESSION_NAMES",
+    "INDEX_NAMES",
 ]
 
 #: Relation operator registry keys (see :mod:`repro.core.operators`).
@@ -58,6 +60,9 @@ BUCKET_ORDER_NAMES = ("inside_out", "outside_in", "chained", "random")
 
 #: Partition codec names (see :mod:`repro.graph.compression`).
 COMPRESSION_NAMES = ("none", "fp16", "int8")
+
+#: Serving index implementations (see :mod:`repro.serving`).
+INDEX_NAMES = ("exact", "ivfpq")
 
 
 class ConfigError(ValueError):
@@ -149,6 +154,85 @@ class RelationSchema:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Configuration of the embedding serving layer (``repro serve``).
+
+    Lives inside :class:`ConfigSchema` so one JSON file describes a run
+    end to end — train with it, then serve from the checkpoint it
+    produced with the same file. The comparator is *not* repeated
+    here: serving reads it from the snapshot manifest, which records
+    the training config's choice.
+
+    Parameters
+    ----------
+    index:
+        ``"exact"`` (brute-force chunked scan — the recall-1.0
+        baseline) or ``"ivfpq"`` (IVF coarse quantizer + optional PQ).
+    num_lists:
+        IVF coarse cells; ~``sqrt(n)`` is a reasonable starting point.
+    nprobe:
+        Cells scanned per query — *the* recall/latency knob.
+        ``nprobe = num_lists`` (PQ off) degenerates to the exact scan.
+    pq_subvectors:
+        ``0`` stores float vectors in the lists; ``M > 0`` stores one
+        byte per subvector (``dimension`` must be divisible by ``M``).
+    refine:
+        ``0`` off; ``r >= 1`` re-scores the top ``k*r`` PQ candidates
+        against the raw mmap-backed vectors.
+    kmeans_iters, train_sample, seed:
+        Index-build cost/determinism knobs.
+    batch_size:
+        Queries per pinned-snapshot batch in the query service.
+    default_k:
+        Neighbours returned when a query does not say.
+    """
+
+    index: str = "exact"
+    num_lists: int = 64
+    nprobe: int = 8
+    pq_subvectors: int = 0
+    refine: int = 0
+    kmeans_iters: int = 10
+    train_sample: int = 20_000
+    seed: int = 0
+    batch_size: int = 1024
+    default_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.index not in INDEX_NAMES:
+            raise ConfigError(
+                f"unknown serving index {self.index!r}; "
+                f"expected one of {INDEX_NAMES}"
+            )
+        if self.num_lists < 1:
+            raise ConfigError(
+                f"num_lists must be >= 1, got {self.num_lists}"
+            )
+        if not 1 <= self.nprobe <= self.num_lists:
+            raise ConfigError(
+                f"nprobe must be in [1, num_lists={self.num_lists}], "
+                f"got {self.nprobe}"
+            )
+        if self.pq_subvectors < 0:
+            raise ConfigError("pq_subvectors must be >= 0 (0 disables PQ)")
+        if self.refine < 0:
+            raise ConfigError("refine must be >= 0 (0 disables)")
+        if self.refine and not self.pq_subvectors:
+            raise ConfigError(
+                "refine only applies to PQ indexes; set pq_subvectors "
+                "or drop refine"
+            )
+        if self.kmeans_iters < 0:
+            raise ConfigError("kmeans_iters must be >= 0")
+        if self.train_sample < 1:
+            raise ConfigError("train_sample must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigError("serving batch_size must be >= 1")
+        if self.default_k < 1:
+            raise ConfigError("default_k must be >= 1")
+
+
+@dataclass(frozen=True)
 class ConfigSchema:
     """Top-level training configuration.
 
@@ -234,6 +318,10 @@ class ConfigSchema:
     # Distributed training.
     num_machines: int = 1
     parameter_sync_interval: int = 10
+
+    # Embedding serving (``repro serve`` / ``repro query`` read this
+    # section; training ignores it).
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     # Evaluation during training.
     eval_fraction: float = 0.0
@@ -330,6 +418,14 @@ class ConfigSchema:
             )
         if not 0.0 <= self.eval_fraction < 1.0:
             raise ConfigError("eval_fraction must be in [0, 1)")
+        if (
+            self.serving.pq_subvectors
+            and self.dimension % self.serving.pq_subvectors
+        ):
+            raise ConfigError(
+                f"serving.pq_subvectors ({self.serving.pq_subvectors}) "
+                f"must divide dimension ({self.dimension})"
+            )
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -381,6 +477,10 @@ class ConfigSchema:
             k: EntitySchema(**v) for k, v in data["entities"].items()
         }
         data["relations"] = [RelationSchema(**r) for r in data["relations"]]
+        if "serving" in data and not isinstance(
+            data["serving"], ServingConfig
+        ):
+            data["serving"] = ServingConfig(**data["serving"])
         return cls(**data)
 
     def to_json(self) -> str:

@@ -31,7 +31,7 @@ from repro import telemetry
 from repro.graph.entity_storage import EntityStorage, TypePartitioning
 from repro.graph.storage import CheckpointStorage
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "load_manifest"]
 
 
 def save_model(
@@ -123,6 +123,22 @@ def _rebuild_partitioning(
         offset_of=offset_of,
         part_sizes=part_sizes,
         global_of=tuple(global_of),
+    )
+
+
+def load_manifest(
+    checkpoint_dir: "str | Path",
+) -> tuple[ConfigSchema, dict]:
+    """Load a checkpoint's config + metadata without its arrays.
+
+    The serving exporter and snapshot publisher need the training
+    config (comparator, dimension) and the entity counts, but not the
+    embedding matrices — those are streamed partition by partition.
+    """
+    ckpt = CheckpointStorage(checkpoint_dir)
+    return (
+        ConfigSchema.from_json(ckpt.load_config()),
+        ckpt.load_metadata(),
     )
 
 

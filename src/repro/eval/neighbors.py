@@ -2,126 +2,38 @@
 
 The downstream use of graph embeddings (recommendations, candidate
 generation — the applications in the paper's introduction) is k-NN in
-embedding space. This module provides exact chunked top-k search with
-the same comparators as training, so "nearest" means the same thing
-the model was optimised for.
+embedding space. The implementation now lives in the serving layer:
+:class:`~repro.serving.index.ExactIndex` is the exact chunked scan,
+one of the :class:`~repro.serving.index.KnnIndex` implementations the
+online server, the evaluators and the benchmarks all share.
+
+This module re-exports it under its eval-facing name and keeps the
+historical ``NearestNeighbors`` name as a deprecation alias.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.core.comparators import make_comparator
+from repro.serving.index import ExactIndex, KnnIndex
 
-__all__ = ["NearestNeighbors"]
+__all__ = ["ExactIndex", "KnnIndex", "NearestNeighbors"]
 
 
-class NearestNeighbors:
-    """Exact top-k search over an embedding matrix.
+class NearestNeighbors(ExactIndex):
+    """Deprecated alias of :class:`~repro.serving.index.ExactIndex`.
 
-    Parameters
-    ----------
-    embeddings:
-        ``(n, d)`` matrix (e.g. ``model.global_embeddings(type)``).
-    comparator:
-        ``"dot"``, ``"cos"`` or ``"l2"`` — use the comparator the model
-        was trained with.
-    chunk_size:
-        Rows of the database scored per block (bounds the temporary
-        score matrix at ``queries x chunk_size``).
+    The behaviour is identical (same chunked scan, same results,
+    bit for bit); only the name moved when the serving layer unified
+    exact and approximate search behind ``KnnIndex``.
     """
 
-    def __init__(
-        self,
-        embeddings: np.ndarray,
-        comparator: str = "cos",
-        chunk_size: int = 16_384,
-    ) -> None:
-        embeddings = np.asarray(embeddings)
-        if embeddings.ndim != 2:
-            raise ValueError(
-                f"embeddings must be (n, d), got {embeddings.shape}"
-            )
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
-        self._comp = make_comparator(comparator)
-        self._prepared = self._comp.prepare(embeddings)
-        self.num_items, self.dim = embeddings.shape
-        self.chunk_size = chunk_size
-
-    def query(
-        self,
-        vectors: np.ndarray,
-        k: int = 10,
-        exclude_self: "np.ndarray | None" = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Top-``k`` database rows for each query vector.
-
-        Parameters
-        ----------
-        vectors:
-            ``(q, d)`` raw query embeddings (prepared internally).
-        exclude_self:
-            Optional ``(q,)`` database indices excluded per query (a
-            node should not be its own neighbour).
-
-        Returns
-        -------
-        (indices, scores):
-            Both ``(q, k)``, sorted by descending score.
-        """
-        vectors = np.atleast_2d(np.asarray(vectors))
-        if vectors.shape[1] != self.dim:
-            raise ValueError(
-                f"queries have dim {vectors.shape[1]}, index has {self.dim}"
-            )
-        if not 1 <= k <= self.num_items:
-            raise ValueError(f"k must be in [1, {self.num_items}]")
-        q = len(vectors)
-        prepared_q = self._comp.prepare(vectors)
-
-        best_scores = np.full((q, k), -np.inf)
-        best_idx = np.zeros((q, k), dtype=np.int64)
-        for lo in range(0, self.num_items, self.chunk_size):
-            hi = min(lo + self.chunk_size, self.num_items)
-            scores = self._comp.score_matrix(
-                prepared_q, self._prepared[lo:hi]
-            )
-            if exclude_self is not None:
-                in_chunk = (exclude_self >= lo) & (exclude_self < hi)
-                rows = np.flatnonzero(in_chunk)
-                scores[rows, exclude_self[rows] - lo] = -np.inf
-            # Merge this chunk into the running top-k.
-            merged_scores = np.concatenate([best_scores, scores], axis=1)
-            merged_idx = np.concatenate(
-                [
-                    best_idx,
-                    np.broadcast_to(
-                        np.arange(lo, hi), (q, hi - lo)
-                    ),
-                ],
-                axis=1,
-            )
-            top = np.argpartition(-merged_scores, k - 1, axis=1)[:, :k]
-            rows = np.arange(q)[:, None]
-            best_scores = merged_scores[rows, top]
-            best_idx = merged_idx[rows, top]
-        order = np.argsort(-best_scores, axis=1)
-        rows = np.arange(q)[:, None]
-        return best_idx[rows, order], best_scores[rows, order]
-
-    def neighbors_of(
-        self, index: int, k: int = 10
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Top-``k`` neighbours of database row ``index`` (self excluded).
-
-        Note: queries take *raw* vectors; for cosine the stored row is
-        already normalised, which is fine since normalisation is
-        idempotent.
-        """
-        idx, scores = self.query(
-            self._prepared[index : index + 1],
-            k=k,
-            exclude_self=np.asarray([index]),
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "NearestNeighbors is deprecated; use "
+            "repro.serving.ExactIndex (same behaviour, KnnIndex "
+            "protocol)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return idx[0], scores[0]
+        super().__init__(*args, **kwargs)

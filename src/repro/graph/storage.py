@@ -172,6 +172,51 @@ class PartitionedEmbeddingStorage:
             p.stat().st_size for p in self.root.rglob("part-*.npz")
         )
 
+    def export_mmap(
+        self, entity_type: str, dest: "str | Path"
+    ) -> "tuple[list[dict], int]":
+        """Decode stored partitions into raw mmap-servable ``.npy`` files.
+
+        Each ``part-{p}.npz`` (whatever its codec) becomes
+        ``{dest}/shard-{p:05d}.npy`` holding just the fp32 embedding
+        values — optimizer state is training-only and dropped. The raw
+        ``.npy`` format is what ``np.load(mmap_mode="r")`` can map
+        without decompression, which ``.npz`` members cannot be.
+
+        Returns ``(shards, dim)`` where ``shards`` is a manifest-ready
+        list of ``{"part", "rows", "file"}`` entries.
+        """
+        dest = Path(dest)
+        dest.mkdir(parents=True, exist_ok=True)
+        shards: "list[dict]" = []
+        dim = 0
+        for part in self.stored_partitions(entity_type):
+            embeddings, _ = self.load(entity_type, part)
+            embeddings = np.ascontiguousarray(
+                embeddings, dtype=np.float32
+            )
+            dim = embeddings.shape[1]
+            name = f"shard-{part:05d}.npy"
+            path = dest / name
+            fd, tmp = tempfile.mkstemp(dir=dest, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.save(fh, embeddings)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            shards.append(
+                {"part": part, "rows": len(embeddings), "file": name}
+            )
+        if not shards:
+            raise StorageError(
+                f"no stored partitions for {entity_type!r} under "
+                f"{self.root}"
+            )
+        return shards, dim
+
 
 class WritebackQueue:  # public-guard: _cv
     """Asynchronous writer for evicted partitions.

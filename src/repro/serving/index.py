@@ -1,0 +1,300 @@
+"""The ``KnnIndex`` protocol and the exact brute-force reference index.
+
+The serving layer, the evaluators and the benchmarks all speak one
+interface — a k-NN index over an embedding matrix:
+
+- :meth:`KnnIndex.build` — ingest a ``(n, d)`` embedding matrix (or a
+  :class:`~repro.serving.shards.MmapShardedTable`) and return the
+  ready-to-query index;
+- :meth:`KnnIndex.query` — batched top-``k`` retrieval with the same
+  comparator semantics as training (``dot`` / ``cos`` / ``l2``);
+- :meth:`KnnIndex.nbytes` — resident bytes of the index structure, the
+  number a capacity planner compares against the raw table.
+
+:class:`ExactIndex` is the chunked exact scan (previously
+``repro.eval.neighbors.NearestNeighbors``); it is both the correctness
+oracle for approximate indexes and a perfectly good serving index for
+small tables. :class:`~repro.serving.ivfpq.IVFPQIndex` is the
+approximate implementation.
+
+Exactness note: BLAS matmuls are *not* per-element bit-identical across
+different operand shapes, so "bit-identical to the exact scan" is only
+achievable by running the very same chunked scan over the very same
+row order. :func:`chunked_topk` is that shared kernel; ``IVFPQIndex``
+routes full-probe queries through it for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.comparators import make_comparator
+
+__all__ = [
+    "KnnIndex",
+    "ExactIndex",
+    "ServingError",
+    "chunked_topk",
+    "validate_query",
+]
+
+#: database rows scored per block in the exact scan (bounds the
+#: temporary score matrix at ``queries x DEFAULT_CHUNK_SIZE``)
+DEFAULT_CHUNK_SIZE = 16_384
+
+
+class ServingError(RuntimeError):
+    """Raised on serving-layer misuse (unbuilt index, no snapshot...)."""
+
+
+@runtime_checkable
+class KnnIndex(Protocol):
+    """What eval, benchmarks and the query server require of an index.
+
+    Implementations also expose ``num_items``, ``dim`` and
+    ``comparator`` attributes once built; the protocol pins down only
+    the three behaviours every consumer relies on.
+    """
+
+    def build(self, embeddings) -> "KnnIndex":
+        """Ingest ``(n, d)`` embeddings (array or mmap table); return self."""
+        ...
+
+    def query(
+        self,
+        vectors: np.ndarray,
+        k: int = 10,
+        exclude_self: "np.ndarray | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(indices, scores)``, each ``(q, k)``, best first."""
+        ...
+
+    def nbytes(self) -> int:
+        """Resident bytes of the index structure."""
+        ...
+
+
+def validate_query(
+    vectors: np.ndarray,
+    dim: int,
+    k: int,
+    num_items: int,
+    exclude_self: "np.ndarray | None",
+) -> tuple[np.ndarray, int, "np.ndarray | None"]:
+    """Validate and normalise ``query()`` arguments.
+
+    Shared by every index implementation so misuse fails the same way
+    everywhere, with actionable messages instead of downstream numpy
+    index errors: ``k`` must be an integer in ``[1, num_items]``,
+    query vectors must be ``(q, d)`` (a single ``(d,)`` vector is
+    promoted), and ``exclude_self`` must be one integer id per query,
+    in range.
+    """
+    if num_items == 0:
+        raise ServingError("index is empty; call build() first")
+    vectors = np.atleast_2d(np.asarray(vectors))
+    if vectors.ndim != 2:
+        raise ValueError(
+            f"query vectors must be (q, d), got shape {vectors.shape}"
+        )
+    if vectors.shape[1] != dim:
+        raise ValueError(
+            f"queries have dim {vectors.shape[1]}, index has {dim}"
+        )
+    if not isinstance(k, (int, np.integer)):
+        raise TypeError(f"k must be an integer, got {type(k).__name__}")
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > num_items:
+        raise ValueError(
+            f"k={k} exceeds the {num_items} indexed items; "
+            f"pass k <= num_items"
+        )
+    if exclude_self is not None:
+        exclude_self = np.asarray(exclude_self)
+        if exclude_self.shape != (len(vectors),):
+            raise ValueError(
+                f"exclude_self must be one id per query, shape "
+                f"({len(vectors)},); got {exclude_self.shape}"
+            )
+        if not np.issubdtype(exclude_self.dtype, np.integer):
+            raise TypeError(
+                f"exclude_self must hold integer ids, got dtype "
+                f"{exclude_self.dtype}"
+            )
+        if len(exclude_self) and (
+            exclude_self.min() < 0 or exclude_self.max() >= num_items
+        ):
+            raise ValueError(
+                f"exclude_self ids must be in [0, {num_items}); got "
+                f"range [{exclude_self.min()}, {exclude_self.max()}]"
+            )
+    return vectors, k, exclude_self
+
+
+def chunked_topk(
+    comparator,
+    prepared_q: np.ndarray,
+    prepared_db: np.ndarray,
+    k: int,
+    chunk_size: int,
+    exclude_self: "np.ndarray | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-``k`` scan of ``prepared_db`` in row-order chunks.
+
+    The shared kernel behind :class:`ExactIndex` and the full-probe
+    path of ``IVFPQIndex``: given the *same* prepared inputs and the
+    same ``chunk_size``, two callers get bit-identical scores (chunk
+    boundaries pin the BLAS operand shapes). Returns ``(indices,
+    scores)``, both ``(q, k)`` sorted by descending score.
+    """
+    q = len(prepared_q)
+    num_items = len(prepared_db)
+    rows = np.arange(q)[:, None]
+    best_scores: "np.ndarray | None" = None  # (q, k), score dtype
+    best_idx = np.zeros((q, k), dtype=np.int64)
+    for lo in range(0, num_items, chunk_size):
+        hi = min(lo + chunk_size, num_items)
+        scores = comparator.score_matrix(prepared_q, prepared_db[lo:hi])
+        if exclude_self is not None:
+            in_chunk = (exclude_self >= lo) & (exclude_self < hi)
+            excl_rows = np.flatnonzero(in_chunk)
+            scores[excl_rows, exclude_self[excl_rows] - lo] = -np.inf
+        # Reduce the chunk to its own top-k before merging: the only
+        # full-width pass is one argpartition over the chunk scores
+        # (no wide float64 temporaries, no negated copy).
+        width = hi - lo
+        if width > k:
+            part = np.argpartition(scores, width - k, axis=1)[:, -k:]
+            chunk_scores = scores[rows, part]
+            chunk_idx = part.astype(np.int64) + lo
+        else:
+            chunk_scores = scores
+            chunk_idx = np.broadcast_to(
+                np.arange(lo, hi), (q, width)
+            ).astype(np.int64)
+        if best_scores is None:
+            best_scores = np.full((q, k), -np.inf, dtype=scores.dtype)
+        # Merge the (q, <= 2k) candidate sets.
+        merged_scores = np.concatenate([best_scores, chunk_scores], axis=1)
+        merged_idx = np.concatenate([best_idx, chunk_idx], axis=1)
+        top = np.argpartition(
+            merged_scores, merged_scores.shape[1] - k, axis=1
+        )[:, -k:]
+        best_scores = merged_scores[rows, top]
+        best_idx = merged_idx[rows, top]
+    order = np.argsort(-best_scores, axis=1)
+    return best_idx[rows, order], best_scores[rows, order]
+
+
+class ExactIndex:
+    """Exact top-k search over an embedding matrix.
+
+    Parameters
+    ----------
+    embeddings:
+        Optional ``(n, d)`` matrix; passing it here is shorthand for
+        calling :meth:`build` immediately.
+    comparator:
+        ``"dot"``, ``"cos"`` or ``"l2"`` — use the comparator the model
+        was trained with, so "nearest" means what training optimised.
+    chunk_size:
+        Rows of the database scored per block (bounds the temporary
+        score matrix at ``queries x chunk_size``).
+
+    When built from a memory-mapped table with the ``dot`` comparator,
+    the scan streams chunks straight off the mapping (``prepare`` is
+    the identity), so the resident footprint stays at one chunk; with
+    ``cos``/``l2`` the prepared matrix is materialised.
+    """
+
+    def __init__(
+        self,
+        embeddings: "np.ndarray | None" = None,
+        comparator: str = "cos",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.comparator = comparator
+        self._comp = make_comparator(comparator)
+        self.chunk_size = chunk_size
+        self._prepared: "np.ndarray | None" = None
+        self.num_items = 0
+        self.dim = 0
+        if embeddings is not None:
+            self.build(embeddings)
+
+    # -- KnnIndex ------------------------------------------------------
+
+    def build(self, embeddings) -> "ExactIndex":
+        """Ingest the database matrix (prepared once, queried many)."""
+        if hasattr(embeddings, "as_array"):
+            embeddings = embeddings.as_array()
+        embeddings = np.asarray(embeddings)
+        if embeddings.ndim != 2:
+            raise ValueError(
+                f"embeddings must be (n, d), got {embeddings.shape}"
+            )
+        self._prepared = self._comp.prepare(embeddings)
+        self.num_items, self.dim = embeddings.shape
+        return self
+
+    def query(
+        self,
+        vectors: np.ndarray,
+        k: int = 10,
+        exclude_self: "np.ndarray | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` database rows for each query vector.
+
+        Parameters
+        ----------
+        vectors:
+            ``(q, d)`` raw query embeddings (prepared internally).
+        exclude_self:
+            Optional ``(q,)`` database indices excluded per query (a
+            node should not be its own neighbour).
+
+        Returns
+        -------
+        (indices, scores):
+            Both ``(q, k)``, sorted by descending score.
+        """
+        if self._prepared is None:
+            raise ServingError("index is empty; call build() first")
+        vectors, k, exclude_self = validate_query(
+            vectors, self.dim, k, self.num_items, exclude_self
+        )
+        prepared_q = self._comp.prepare(vectors)
+        return chunked_topk(
+            self._comp, prepared_q, self._prepared, k, self.chunk_size,
+            exclude_self,
+        )
+
+    def nbytes(self) -> int:
+        """Resident bytes: the prepared database matrix."""
+        return 0 if self._prepared is None else int(self._prepared.nbytes)
+
+    # -- conveniences --------------------------------------------------
+
+    def neighbors_of(
+        self, index: int, k: int = 10
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` neighbours of database row ``index`` (self excluded).
+
+        Note: queries take *raw* vectors; for cosine the stored row is
+        already normalised, which is fine since normalisation is
+        idempotent.
+        """
+        if self._prepared is None:
+            raise ServingError("index is empty; call build() first")
+        idx, scores = self.query(
+            self._prepared[index : index + 1],
+            k=k,
+            exclude_self=np.asarray([index]),
+        )
+        return idx[0], scores[0]

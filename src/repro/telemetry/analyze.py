@@ -32,6 +32,7 @@ CAT_MARKERS = {
     "lock": "L",
     "codec": "c",
     "checkpoint": "K",
+    "serve": "s",
 }
 _DEFAULT_MARKER = "-"
 

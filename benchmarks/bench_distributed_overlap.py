@@ -167,6 +167,15 @@ def main(argv=None) -> int:
         args.bandwidth = max(args.bandwidth, 8e6)
 
     edges = synthetic_graph(args.nodes, args.edges)
+    params = {
+        "num_partitions": NPARTS,
+        "num_machines": 1,
+        "edges": args.edges,
+        "nodes": args.nodes,
+        "epochs": args.epochs,
+        "bandwidth_bytes_per_s": args.bandwidth,
+    }
+    prov = provenance(params)
     results = {}
     report_modes = {}
     rows = []
@@ -176,6 +185,12 @@ def main(argv=None) -> int:
         # lanes land in one tracer); serial stays untraced so the
         # bit-identical gate doubles as the tracing inertness oracle.
         tracer = telemetry.enable() if name == "pipelined" else None
+        if tracer is not None:
+            # Stamped so the trace differ can pair traces of the same
+            # parameters and refuse cross-config comparisons.
+            tracer.add_metadata(
+                config_fingerprint=prov["config_fingerprint"]
+            )
         try:
             wall, stats, emb = run_mode(
                 pipeline, codec, delta, edges, args.nodes, args.epochs,
@@ -247,14 +262,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "bench_distributed_overlap",
         "quick": args.quick,
-        "params": {
-            "num_partitions": NPARTS,
-            "num_machines": 1,
-            "edges": args.edges,
-            "nodes": args.nodes,
-            "epochs": args.epochs,
-            "bandwidth_bytes_per_s": args.bandwidth,
-        },
+        "params": params,
         "modes": report_modes,
         "pipelined_wall_reduction": overlap,
         "compressed_wall_reduction_vs_pipelined": further,
@@ -262,7 +270,7 @@ def main(argv=None) -> int:
         "compressed_mean_row_cosine": cosine,
         "trace": trace_analysis.to_dict(),
     }
-    report["provenance"] = provenance(report["params"])
+    report["provenance"] = prov
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"results written to {args.json}")

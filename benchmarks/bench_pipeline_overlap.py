@@ -169,6 +169,14 @@ def main(argv=None) -> int:
         args.delay = min(args.delay, 0.02)
 
     edges = synthetic_graph(args.nodes, args.edges)
+    params = {
+        "num_partitions": NPARTS,
+        "edges": args.edges,
+        "nodes": args.nodes,
+        "epochs": args.epochs,
+        "delay_seconds": args.delay,
+    }
+    prov = provenance(params)
     rows = []
     results = {}
     report_modes = {}
@@ -183,6 +191,12 @@ def main(argv=None) -> int:
         # analyzer consumes. The serial mode stays untraced so the
         # bit-identical gate doubles as the tracing inertness oracle.
         tracer = telemetry.enable() if name == "pipelined" else None
+        if tracer is not None:
+            # Stamped so the trace differ can pair traces of the same
+            # parameters and refuse cross-config comparisons.
+            tracer.add_metadata(
+                config_fingerprint=prov["config_fingerprint"]
+            )
         try:
             wall, stats, emb, disk = run_mode(
                 pipeline, codec, edges, args.nodes, args.epochs, args.delay
@@ -256,13 +270,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "bench_pipeline_overlap",
         "quick": args.quick,
-        "params": {
-            "num_partitions": NPARTS,
-            "edges": args.edges,
-            "nodes": args.nodes,
-            "epochs": args.epochs,
-            "delay_seconds": args.delay,
-        },
+        "params": params,
         "modes": report_modes,
         "pipelined_wall_reduction": overlap,
         "uncompressed_bit_identical": identical,
@@ -270,7 +278,7 @@ def main(argv=None) -> int:
         "int8_mean_row_cosine": cosine,
         "trace": trace_analysis.to_dict(),
     }
-    report["provenance"] = provenance(report["params"])
+    report["provenance"] = prov
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"results written to {args.json}")

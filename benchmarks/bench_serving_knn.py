@@ -142,8 +142,9 @@ def main(argv=None) -> int:
                         help="small dataset, correctness gates only")
     parser.add_argument("--json", default="BENCH_serving.json",
                         help="write the report here ('' to skip)")
-    parser.add_argument("--history", default=None,
-                        help="append the report to this BENCH_history.jsonl")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="append the report to this history file "
+                             "('' to skip)")
     parser.add_argument("--trace", default=None,
                         help="write a Chrome trace of the run")
     parser.add_argument("--k", type=int, default=10)

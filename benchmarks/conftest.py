@@ -5,9 +5,18 @@ a ``pytest_terminal_summary`` hook prints all registered tables after
 the run (terminal-summary output is not captured by pytest, so the
 paper-style tables are always visible, including under
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``).
+
+Every registered table/figure is also appended as one structured
+record to the benchmark history (``BENCH_history.jsonl``, overridable
+via ``REPRO_BENCH_HISTORY``; set it to the empty string to skip), so
+``python -m repro.telemetry regress`` can gate table benchmarks on
+their numeric cells with ``--metric``, not just the standalone
+overlap/serving scripts on their headline timings.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -15,9 +24,62 @@ _TABLES: "list[tuple[str, list[str], list[list[str]]]]" = []
 _FIGURES: "list[tuple[str, str]]" = []
 
 
+def _history_path() -> str:
+    return os.environ.get("REPRO_BENCH_HISTORY", "BENCH_history.jsonl")
+
+
+def _maybe_float(cell: str) -> "float | None":
+    try:
+        return float(str(cell).strip().rstrip("x%"))
+    except ValueError:
+        return None
+
+
+def _append_record(
+    kind: str, title: str, payload: dict, shape: "list[str]"
+) -> None:
+    """History record for one table/figure; never fails the benchmark.
+
+    The fingerprint covers the benchmark's *shape* (title + column/
+    series names), which is what identifies "the same measurement"
+    across commits — the numeric cells are the measurement itself.
+    """
+    path = _history_path()
+    if not path:
+        return
+    from benchmarks.common import append_history, provenance
+
+    record = {
+        "benchmark": title,
+        "kind": kind,
+        **payload,
+        "provenance": provenance(
+            {"title": title, "kind": kind, "shape": list(shape)}
+        ),
+    }
+    try:
+        append_history(record, path)
+    except OSError:
+        pass
+
+
 def report_table(title: str, header: "list[str]", rows: "list[list]") -> None:
     """Register a result table for the end-of-run summary."""
-    _TABLES.append((title, header, [[str(c) for c in r] for r in rows]))
+    rows = [[str(c) for c in r] for r in rows]
+    _TABLES.append((title, header, rows))
+    metrics = {
+        str(row[0]): {
+            str(col): value
+            for col, cell in zip(header[1:], row[1:])
+            if (value := _maybe_float(cell)) is not None
+        }
+        for row in rows
+        if row
+    }
+    _append_record(
+        "table", title, {"columns": header, "metrics": metrics},
+        shape=[str(h) for h in header],
+    )
 
 
 def report_figure(
@@ -31,6 +93,19 @@ def report_figure(
 
     _FIGURES.append(
         (title, ascii_plot(series, x_label=x_label, y_label=y_label))
+    )
+    _append_record(
+        "figure",
+        title,
+        {
+            "series": {
+                name: [[float(x), float(y)] for x, y in points]
+                for name, points in series.items()
+            },
+            "x_label": x_label,
+            "y_label": y_label,
+        },
+        shape=sorted(str(name) for name in series),
     )
 
 

@@ -586,6 +586,8 @@ def default_targets() -> "list[Path]":
         root / "core" / "trainer.py",
         root / "telemetry" / "tracer.py",
         root / "telemetry" / "metrics.py",
+        root / "telemetry" / "diff.py",
+        root / "telemetry" / "exposition.py",
         root / "serving" / "snapshot.py",
         root / "serving" / "server.py",
         root / "serving" / "shards.py",

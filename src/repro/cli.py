@@ -83,11 +83,14 @@ def _infer_counts(config: ConfigSchema, edges: EdgeList) -> "dict[str, int]":
 def _arm_tracer(config: ConfigSchema):
     """Arm the span tracer when the run asks for a trace file. The
     CLI owns the tracer (trainers only arm one if nobody else has), so
-    the digest can be computed from the in-memory spans after export."""
+    the digest can be computed from the in-memory spans after export.
+    The config fingerprint is stamped into the trace metadata so the
+    trace differ can refuse apples-to-oranges comparisons."""
     if not config.trace_path:
         return None
     tracer = telemetry.enable()
     telemetry.set_lane("cli.main")
+    tracer.add_metadata(config_fingerprint=config.fingerprint())
     return tracer
 
 
@@ -325,11 +328,24 @@ def _serving_config(args: argparse.Namespace):
         name: getattr(args, name)
         for name in (
             "index", "num_lists", "nprobe", "pq_subvectors",
-            "refine", "batch_size",
+            "refine", "batch_size", "slow_batch_seconds",
         )
         if getattr(args, name, None) is not None
     }
     return dataclasses.replace(serving, **overrides) if overrides else serving
+
+
+def _serving_fingerprint(serving) -> str:
+    """Fingerprint of the resolved serving parameters (same
+    construction as ConfigSchema.fingerprint) for stamping serve
+    traces when no full config file was given."""
+    import dataclasses
+    import hashlib
+
+    blob = json.dumps(
+        dataclasses.asdict(serving), sort_keys=True, default=str
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 def _open_service(args: argparse.Namespace, auto_refresh: bool = False):
@@ -357,6 +373,7 @@ def _open_service(args: argparse.Namespace, auto_refresh: bool = False):
         batch_size=serving.batch_size,
         default_k=serving.default_k,
         auto_refresh=auto_refresh,
+        slow_batch_seconds=serving.slow_batch_seconds,
     )
     return manager, service, serving
 
@@ -369,6 +386,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.trace:
         tracer = telemetry.enable()
         telemetry.set_lane("cli.serve")
+    metrics_server = None
     try:
         try:
             manager, service, serving = _open_service(
@@ -377,6 +395,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ServingError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if tracer is not None:
+            tracer.add_metadata(
+                config_fingerprint=_serving_fingerprint(serving)
+            )
+        if args.metrics_port is not None:
+            from repro.telemetry import MetricsServer
+
+            def health():
+                return {
+                    "status": "ok",
+                    "version": manager.current_version(),
+                }
+
+            metrics_server = MetricsServer(
+                manager.metrics, port=args.metrics_port, health=health
+            ).start()
+            print(f"metrics at {metrics_server.url}/metrics")
         queries = np.load(args.queries)
         idx, scores = service.query(queries, k=args.k)
         if args.output:
@@ -392,6 +427,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(stats.summary())
         manager.close()
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         if tracer is not None:
             try:
                 tracer.export(args.trace)
@@ -439,6 +476,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
             if j >= 0
         )
         print(f"  {label}: {pairs}")
+    print(service.stats().summary())
+    manager.close()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump the service registry as Prometheus text, without a server.
+
+    Same text ``/metrics`` serves under ``repro serve
+    --metrics-port`` — mostly zeros here (the service just came up),
+    but it shows every metric name and label a scrape would see.
+    """
+    from repro.serving import ServingError
+
+    try:
+        manager, service, _ = _open_service(args)
+    except ServingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(service.stats_text(), end="")
     manager.close()
     return 0
 
@@ -556,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="batch_size", metavar="N",
                            help="queries per pinned-snapshot batch "
                                 "(default: serving.batch_size)")
+            p.add_argument("--slow-batch", type=float, default=None,
+                           dest="slow_batch_seconds", metavar="SECONDS",
+                           help="batches slower than this emit a sampled "
+                                "serve.query.slow span and a structured "
+                                "log line (default: config value / off)")
 
     p_serve = sub.add_parser(
         "serve",
@@ -578,6 +640,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace", default=None, metavar="PATH",
                          help="write a Chrome trace_event JSON of "
                               "serve.query/serve.swap spans")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         dest="metrics_port", metavar="PORT",
+                         help="serve GET /metrics (Prometheus text) and "
+                              "/healthz on 127.0.0.1:PORT while queries "
+                              "run (0 picks an ephemeral port)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_query = sub.add_parser(
@@ -596,6 +663,17 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--queries", default=None,
                        help=".npy file of (q, d) query vectors")
     p_query.set_defaults(fn=_cmd_query)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="print the serving registry as Prometheus text",
+        description="Open the CURRENT snapshot and dump its metrics "
+                    "registry in the Prometheus text exposition format "
+                    "— the same text 'repro serve --metrics-port' "
+                    "serves at /metrics.",
+    )
+    add_serving_args(p_metrics, with_batch=False)
+    p_metrics.set_defaults(fn=_cmd_metrics)
     return parser
 
 

@@ -22,6 +22,7 @@ described by one object that can be checkpointed alongside the model.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping, Sequence
@@ -185,6 +186,10 @@ class ServingConfig:
         Queries per pinned-snapshot batch in the query service.
     default_k:
         Neighbours returned when a query does not say.
+    slow_batch_seconds:
+        Batches slower than this emit a sampled ``serve.query.slow``
+        span and a structured log line (``0.0`` disables the slow-query
+        log entirely).
     """
 
     index: str = "exact"
@@ -197,6 +202,7 @@ class ServingConfig:
     seed: int = 0
     batch_size: int = 1024
     default_k: int = 10
+    slow_batch_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.index not in INDEX_NAMES:
@@ -230,6 +236,11 @@ class ServingConfig:
             raise ConfigError("serving batch_size must be >= 1")
         if self.default_k < 1:
             raise ConfigError("default_k must be >= 1")
+        if self.slow_batch_seconds < 0:
+            raise ConfigError(
+                "slow_batch_seconds must be >= 0 (0 disables the "
+                "slow-query log)"
+            )
 
 
 @dataclass(frozen=True)
@@ -486,6 +497,24 @@ class ConfigSchema:
     def to_json(self) -> str:
         """Serialise to a JSON string."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def fingerprint(self) -> str:
+        """Short stable hash of the workload-defining config fields.
+
+        Same construction as ``benchmarks.common.provenance`` (sha256 of
+        the sorted-key JSON, first 16 hex chars), so a trace stamped by
+        the CLI and a benchmark history record of the same parameters
+        carry comparable fingerprints. Used by the trace differ to
+        refuse apples-to-oranges comparisons — which is why output
+        artifact paths (checkpoint dir, trace file) are excluded: two
+        runs of the same workload that differ only in where they write
+        results must compare.
+        """
+        params = self.to_dict()
+        for output_field in ("checkpoint_dir", "trace_path"):
+            params.pop(output_field, None)
+        blob = json.dumps(params, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     @classmethod
     def from_json(cls, text: str) -> "ConfigSchema":

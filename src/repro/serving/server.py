@@ -16,6 +16,8 @@ next batch boundary without dropping a single query.
 
 from __future__ import annotations
 
+import json
+import logging
 import time
 from dataclasses import dataclass
 
@@ -25,8 +27,17 @@ from repro import telemetry
 from repro.serving.index import ExactIndex
 from repro.serving.ivfpq import IVFPQIndex
 from repro.serving.snapshot import SnapshotManager
+from repro.telemetry.exposition import render_prometheus
 
 __all__ = ["QueryService", "ServingStats", "make_index"]
+
+#: Structured slow-query lines go here (one JSON object per record).
+_SLOW_LOG = logging.getLogger("repro.serving.slow")
+
+#: After the first ``_SLOW_SAMPLE`` slow batches, only every
+#: ``_SLOW_SAMPLE``-th one emits a span/log line — a sustained
+#: overload must not turn the observability layer into the bottleneck.
+_SLOW_SAMPLE = 10
 
 
 def make_index(serving, comparator: str):
@@ -63,6 +74,11 @@ class ServingStats:
     swaps: int
     refreshes: int
     version: "int | None"
+    #: Per-batch latency quantiles in seconds (0.0 until a batch ran).
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    slow_batches: int = 0
 
     @property
     def qps(self) -> float:
@@ -70,11 +86,20 @@ class ServingStats:
 
     def summary(self) -> str:
         ver = "-" if self.version is None else f"v{self.version}"
-        return (
+        line = (
             f"serving {ver}: {self.queries} queries / "
             f"{self.batches} batches in {self.seconds:.3f}s "
             f"({self.qps:,.0f} QPS), {self.swaps} swaps"
         )
+        if self.batches:
+            line += (
+                f", batch p50/p95/p99 "
+                f"{self.p50 * 1e3:.2f}/{self.p95 * 1e3:.2f}/"
+                f"{self.p99 * 1e3:.2f} ms"
+            )
+        if self.slow_batches:
+            line += f", {self.slow_batches} slow"
+        return line
 
 
 class QueryService:
@@ -86,19 +111,24 @@ class QueryService:
         batch_size: int = 1024,
         default_k: int = 10,
         auto_refresh: bool = False,
+        slow_batch_seconds: float = 0.0,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if default_k < 1:
             raise ValueError("default_k must be >= 1")
+        if slow_batch_seconds < 0:
+            raise ValueError("slow_batch_seconds must be >= 0")
         self.manager = manager
         self.batch_size = batch_size
         self.default_k = default_k
         self.auto_refresh = auto_refresh
+        self.slow_batch_seconds = slow_batch_seconds
         metrics = manager.metrics
         self._m_queries = metrics.counter("serve.queries")
         self._m_batches = metrics.counter("serve.batches")
         self._m_seconds = metrics.counter("serve.seconds")
+        self._m_slow = metrics.counter("serve.slow_batches")
         self._h_batch = metrics.histogram("serve.batch_seconds")
 
     def query(
@@ -169,10 +199,43 @@ class QueryService:
         self._m_batches.inc()
         self._m_seconds.inc(elapsed)
         self._h_batch.observe(elapsed)
+        if (
+            self.slow_batch_seconds > 0.0
+            and elapsed > self.slow_batch_seconds
+        ):
+            self._note_slow(snap.version, len(batch), k, elapsed)
         return idx, scores
+
+    def _note_slow(self, version, queries, k, elapsed) -> None:
+        """Count a slow batch; emit a sampled span + structured line."""
+        nth = self._m_slow.inc()
+        if nth > _SLOW_SAMPLE and nth % _SLOW_SAMPLE:
+            return
+        with telemetry.span(
+            "serve.query.slow", cat="serve",
+            version=version, queries=queries, k=k,
+            elapsed_s=round(elapsed, 6), nth=int(nth),
+        ):
+            pass
+        _SLOW_LOG.warning(
+            "%s",
+            json.dumps(
+                {
+                    "event": "serve.query.slow",
+                    "version": version,
+                    "queries": queries,
+                    "k": k,
+                    "elapsed_s": round(elapsed, 6),
+                    "threshold_s": self.slow_batch_seconds,
+                    "nth_slow_batch": int(nth),
+                },
+                sort_keys=True,
+            ),
+        )
 
     def stats(self) -> ServingStats:
         metrics = self.manager.metrics
+        qs = self._h_batch.quantiles((0.5, 0.95, 0.99))
         return ServingStats(
             queries=int(self._m_queries.value),
             batches=int(self._m_batches.value),
@@ -180,4 +243,16 @@ class QueryService:
             swaps=int(metrics.counter("serve.swaps").value),
             refreshes=int(metrics.counter("serve.refreshes").value),
             version=self.manager.current_version(),
+            p50=qs[0.5],
+            p95=qs[0.95],
+            p99=qs[0.99],
+            slow_batches=int(self._m_slow.value),
         )
+
+    def stats_text(self) -> str:
+        """Prometheus text exposition of the service's registry.
+
+        The same text the ``/metrics`` endpoint serves — callable
+        without a server for ``repro metrics`` and tests.
+        """
+        return render_prometheus(self.manager.metrics)

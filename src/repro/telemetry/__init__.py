@@ -26,7 +26,9 @@ always wins.
 
 from __future__ import annotations
 
+from repro.telemetry.exposition import MetricsServer, render_prometheus
 from repro.telemetry.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
     Counter,
     Gauge,
     Histogram,
@@ -45,7 +47,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
+    "render_prometheus",
     "metric_key",
+    "DEFAULT_BUCKET_BOUNDS",
     "DEFAULT_CAPACITY",
     "NULL_SPAN",
     "SpanEvent",

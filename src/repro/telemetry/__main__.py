@@ -1,11 +1,17 @@
-"""Trace analyzer CLI: ``python -m repro.telemetry TRACE.json``.
+"""Telemetry CLI: analyze one trace, diff two, or gate on history.
 
-Reads a Chrome ``trace_event`` JSON file captured with ``--trace`` (or
-a benchmark's ``--trace``) and prints overlap efficiency, the
-per-bucket critical-path breakdown, lock hold/wait times, and an ASCII
-Gantt timeline. ``--assert-overlap`` makes it usable as a CI smoke
-check: exit non-zero unless some transfer time was hidden under
-compute.
+Three subcommands share this entry point:
+
+- ``python -m repro.telemetry TRACE.json`` (or ``analyze TRACE.json``)
+  — single-trace analysis: overlap efficiency, per-bucket critical
+  path, lock hold/wait, ASCII Gantt; ``--assert-overlap`` for CI.
+- ``python -m repro.telemetry diff A.json B.json`` — attribute the
+  wall-clock delta between two same-fingerprint traces to per-span-name
+  self-time deltas (see :mod:`repro.telemetry.diff`).
+- ``python -m repro.telemetry regress BENCH_history.jsonl`` — compare
+  the newest benchmark record per (benchmark, config fingerprint)
+  against the median of its prior records; exit non-zero on regression
+  (see :mod:`repro.telemetry.regress`).
 """
 
 from __future__ import annotations
@@ -17,9 +23,24 @@ from repro.telemetry.analyze import analyze_chrome, load_trace, render_report
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Subcommand dispatch kept out of argparse so the original
+    # positional form (``python -m repro.telemetry TRACE.json``) keeps
+    # working unchanged.
+    if argv and argv[0] == "diff":
+        from repro.telemetry.diff import main as diff_main
+
+        return diff_main(argv[1:])
+    if argv and argv[0] == "regress":
+        from repro.telemetry.regress import main as regress_main
+
+        return regress_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        argv = argv[1:]
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry",
-        description="Analyze a Chrome trace captured with --trace.",
+        description="Analyze a Chrome trace captured with --trace "
+        "(subcommands: analyze [default], diff, regress).",
     )
     parser.add_argument("trace", help="path to a trace_event JSON file")
     parser.add_argument(

@@ -273,6 +273,24 @@ def render_gantt(trace: dict, width: int = 64) -> str:
     return ascii_gantt(lanes, width=width) + "\n" + legend
 
 
+def dropped_warning(analysis: TraceAnalysis) -> "str | None":
+    """Prominent warning when the tracer ring overflowed, else None.
+
+    A full ring drops the *oldest* spans, so every unioned interval —
+    overlap efficiency, per-bucket critical path, lock hold/wait — is
+    computed over a truncated window and cannot be trusted.
+    """
+    if not analysis.dropped:
+        return None
+    return (
+        f"WARNING: {analysis.dropped} span(s) were dropped by the "
+        f"tracer ring buffer — overlap/critical-path numbers below "
+        f"cover only the surviving window and are NOT trustworthy. "
+        f"Re-capture with a larger capacity "
+        f"(telemetry.enable(capacity=...))."
+    )
+
+
 def render_report(
     analysis: TraceAnalysis,
     trace: "dict | None" = None,
@@ -297,6 +315,9 @@ def render_report(
         f"-> efficiency {a.overlap_efficiency:.1%}",
         f"stalls: {a.stall_s:.3f} s",
     ]
+    warning = dropped_warning(a)
+    if warning is not None:
+        lines.insert(1, warning)
     if a.lock.acquires:
         lines.append(
             f"locks: {a.lock.acquires} acquires, "
@@ -333,4 +354,7 @@ def render_digest(analysis: TraceAnalysis, top: int = 3) -> str:
             f"{c.bucket} {c.total_s:.2f}s" for c in a.buckets[:top]
         )
         lines.append(f"slowest buckets: {slow}")
+    warning = dropped_warning(a)
+    if warning is not None:
+        lines.append(warning)
     return "\n".join(lines)

@@ -1,0 +1,367 @@
+"""Trace diffing: localize a wall-clock regression to span names.
+
+``python -m repro.telemetry diff A.json B.json`` aligns two Chrome
+traces of the *same workload* (same config fingerprint — the tool
+refuses apples-to-oranges comparisons unless ``--force``) and explains
+the end-to-end wall-clock delta in terms of per-span-name **self-time**
+deltas: "the epoch got 30% slower" becomes "``writeback.flush`` gained
+4.1 s across 12 more calls".
+
+Self time is a span's duration minus the durations of spans nested
+inside it on the same lane — so a phase wrapper like ``epoch`` does not
+double-count the ``train.bucket`` spans it contains, and the per-name
+deltas are additive within a lane.  Spans are aligned by name, and
+where a ``bucket`` / ``part`` / ``partition`` arg is present the
+per-bucket breakdown is kept so a delta that concentrates in one
+bucket is visible under ``--by-key`` (and always in the JSON output).
+
+The summed per-name deltas need not equal the wall delta: lanes run
+concurrently, so self time that moved *under* another lane's compute
+changes no wall clock.  The report therefore prints both the table and
+the attribution ratio (sum of positive deltas / wall delta); ratios
+well above 1.0 mean the regression is hidden by overlap, well below
+1.0 mean time appeared outside any span (scheduler, untraced code).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+
+from repro.telemetry.analyze import load_trace
+
+__all__ = [
+    "FingerprintMismatch",
+    "SpanAgg",
+    "TraceDiff",
+    "diff_traces",
+    "render_diff",
+    "self_time_by_name",
+    "main",
+]
+
+#: span args (first match wins) used as the secondary alignment key
+_DETAIL_ARGS = ("bucket", "part", "partition")
+
+
+class FingerprintMismatch(ValueError):
+    """The two traces were captured under different configs."""
+
+
+@dataclass
+class SpanAgg:
+    """Self-time aggregate for one span name within one trace."""
+
+    name: str
+    cat: str = ""
+    count: int = 0
+    self_s: float = 0.0
+    #: (detail-key -> (count, self_s)) for bucket/part-carrying spans
+    details: "dict[str, tuple[int, float]]" = field(default_factory=dict)
+
+
+@dataclass
+class DiffRow:
+    """One span name's contribution to the wall-clock delta."""
+
+    name: str
+    cat: str
+    count_a: int
+    count_b: int
+    self_a_s: float
+    self_b_s: float
+    #: detail-key -> self-time delta (seconds), for bucket-level drill-down
+    detail_deltas: "dict[str, float]" = field(default_factory=dict)
+
+    @property
+    def delta_s(self) -> float:
+        return self.self_b_s - self.self_a_s
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "count_a": self.count_a,
+            "count_b": self.count_b,
+            "self_a_seconds": self.self_a_s,
+            "self_b_seconds": self.self_b_s,
+            "delta_seconds": self.delta_s,
+            "detail_deltas": dict(
+                sorted(
+                    self.detail_deltas.items(),
+                    key=lambda kv: abs(kv[1]),
+                    reverse=True,
+                )
+            ),
+        }
+
+
+@dataclass
+class TraceDiff:
+    wall_a_s: float
+    wall_b_s: float
+    fingerprint_a: "str | None"
+    fingerprint_b: "str | None"
+    rows: "list[DiffRow]" = field(default_factory=list)
+
+    @property
+    def wall_delta_s(self) -> float:
+        return self.wall_b_s - self.wall_a_s
+
+    @property
+    def attributed_s(self) -> float:
+        """Sum of per-name deltas with the wall delta's sign."""
+        sign = 1.0 if self.wall_delta_s >= 0 else -1.0
+        return sum(
+            r.delta_s for r in self.rows if r.delta_s * sign > 0
+        ) * sign
+
+    @property
+    def attribution_ratio(self) -> float:
+        return (
+            self.attributed_s / abs(self.wall_delta_s)
+            if self.wall_delta_s
+            else 0.0
+        )
+
+    def delta_for_cats(self, cats: "set[str]") -> float:
+        """Summed self-time delta over span names in ``cats``."""
+        return sum(r.delta_s for r in self.rows if r.cat in cats)
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_a_seconds": self.wall_a_s,
+            "wall_b_seconds": self.wall_b_s,
+            "wall_delta_seconds": self.wall_delta_s,
+            "attributed_seconds": self.attributed_s,
+            "attribution_ratio": self.attribution_ratio,
+            "fingerprint_a": self.fingerprint_a,
+            "fingerprint_b": self.fingerprint_b,
+            "rows": [r.to_dict() for r in self.rows],
+        }
+
+
+# ----------------------------------------------------------------------
+# Self-time accounting
+# ----------------------------------------------------------------------
+
+
+def _detail_key(args: dict) -> str:
+    for k in _DETAIL_ARGS:
+        if k in args:
+            return f"{k}={args[k]}"
+    return ""
+
+
+def self_time_by_name(trace: dict) -> "tuple[dict[str, SpanAgg], float]":
+    """Per-span-name self-time aggregates + trace wall seconds.
+
+    Self time: each span's duration minus the durations of spans
+    strictly nested within it on the same ``tid`` lane (the per-thread
+    stack discipline of the tracer guarantees proper nesting).
+    """
+    by_tid: "dict[int, list[tuple[float, float, dict]]]" = {}
+    t_min = float("inf")
+    t_max = float("-inf")
+    for ev in trace.get("traceEvents", []):
+        if ev.get("ph") != "X" or "ts" not in ev:
+            continue
+        start = ev["ts"] / 1e6
+        end = start + ev.get("dur", 0) / 1e6
+        t_min = min(t_min, start)
+        t_max = max(t_max, end)
+        by_tid.setdefault(int(ev.get("tid", 0)), []).append(
+            (start, end, ev)
+        )
+    aggs: "dict[str, SpanAgg]" = {}
+    for spans in by_tid.values():
+        # Sort by start; ties open the longer span first so a parent
+        # sharing its child's start timestamp stays below it on the
+        # stack.
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        stack: "list[list]" = []  # [end, self_seconds, event]
+
+        def flush(entry: "list") -> None:
+            end, self_s, ev = entry
+            name = ev.get("name", "")
+            agg = aggs.get(name)
+            if agg is None:
+                agg = aggs[name] = SpanAgg(
+                    name=name, cat=ev.get("cat", "default")
+                )
+            agg.count += 1
+            agg.self_s += self_s
+            detail = _detail_key(ev.get("args") or {})
+            if detail:
+                c, s = agg.details.get(detail, (0, 0.0))
+                agg.details[detail] = (c + 1, s + self_s)
+
+        for start, end, ev in spans:
+            while stack and stack[-1][0] <= start:
+                flush(stack.pop())
+            dur = end - start
+            if stack:
+                stack[-1][1] -= dur
+            stack.append([end, dur, ev])
+        while stack:
+            flush(stack.pop())
+    wall = max(0.0, t_max - t_min) if by_tid else 0.0
+    return aggs, wall
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+
+
+def trace_fingerprint(trace: dict) -> "str | None":
+    fp = trace.get("otherData", {}).get("config_fingerprint")
+    return str(fp) if fp is not None else None
+
+
+def diff_traces(a: dict, b: dict, force: bool = False) -> TraceDiff:
+    """Diff two in-memory Chrome traces (A = baseline, B = candidate).
+
+    Raises :class:`FingerprintMismatch` when both traces carry a
+    ``config_fingerprint`` in ``otherData`` and they differ, unless
+    ``force``.  Traces without fingerprints compare (there is nothing
+    to check), so hand-built or foreign traces still work.
+    """
+    fp_a, fp_b = trace_fingerprint(a), trace_fingerprint(b)
+    if not force and fp_a is not None and fp_b is not None and fp_a != fp_b:
+        raise FingerprintMismatch(
+            f"traces have different config fingerprints "
+            f"({fp_a} vs {fp_b}); these runs are not comparable "
+            f"(pass --force to diff anyway)"
+        )
+    aggs_a, wall_a = self_time_by_name(a)
+    aggs_b, wall_b = self_time_by_name(b)
+    rows = []
+    for name in sorted(set(aggs_a) | set(aggs_b)):
+        agg_a = aggs_a.get(name, SpanAgg(name=name))
+        agg_b = aggs_b.get(name, SpanAgg(name=name))
+        details = {}
+        for key in set(agg_a.details) | set(agg_b.details):
+            details[key] = (
+                agg_b.details.get(key, (0, 0.0))[1]
+                - agg_a.details.get(key, (0, 0.0))[1]
+            )
+        rows.append(
+            DiffRow(
+                name=name,
+                cat=agg_b.cat or agg_a.cat,
+                count_a=agg_a.count,
+                count_b=agg_b.count,
+                self_a_s=agg_a.self_s,
+                self_b_s=agg_b.self_s,
+                detail_deltas=details,
+            )
+        )
+    rows.sort(key=lambda r: abs(r.delta_s), reverse=True)
+    return TraceDiff(
+        wall_a_s=wall_a,
+        wall_b_s=wall_b,
+        fingerprint_a=fp_a,
+        fingerprint_b=fp_b,
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering / CLI
+# ----------------------------------------------------------------------
+
+
+def render_diff(
+    diff: TraceDiff, top: int = 15, by_key: bool = False
+) -> str:
+    d = diff
+    pct = (
+        f"{d.wall_delta_s / d.wall_a_s:+.1%}" if d.wall_a_s else "n/a"
+    )
+    lines = [
+        f"wall clock: {d.wall_a_s:.3f} s -> {d.wall_b_s:.3f} s "
+        f"({d.wall_delta_s:+.3f} s, {pct})",
+        f"fingerprints: {d.fingerprint_a or '(none)'} vs "
+        f"{d.fingerprint_b or '(none)'}",
+        f"attributed to span self-time: {d.attributed_s:+.3f} s "
+        f"({d.attribution_ratio:.0%} of the wall delta)",
+        "",
+        f"{'span name':<28} {'cat':<10} {'count A>B':>11} "
+        f"{'self A s':>9} {'self B s':>9} {'delta s':>9} {'of wall':>8}",
+    ]
+    shown = [r for r in diff.rows if r.delta_s or r.count_a != r.count_b]
+    for r in shown[:top]:
+        share = (
+            f"{r.delta_s / d.wall_delta_s:+.0%}"
+            if d.wall_delta_s
+            else "-"
+        )
+        lines.append(
+            f"{r.name:<28} {r.cat:<10} "
+            f"{f'{r.count_a}>{r.count_b}':>11} "
+            f"{r.self_a_s:>9.3f} {r.self_b_s:>9.3f} "
+            f"{r.delta_s:>+9.3f} {share:>8}"
+        )
+        if by_key and r.detail_deltas:
+            worst = sorted(
+                r.detail_deltas.items(),
+                key=lambda kv: abs(kv[1]),
+                reverse=True,
+            )
+            for key, delta in worst[:3]:
+                lines.append(f"    {key:<34} {delta:>+9.3f} s")
+    if len(shown) > top:
+        lines.append(f"... {len(shown) - top} more span names changed")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry diff",
+        description="Attribute the wall-clock delta between two traces "
+        "to per-span-name self-time deltas.",
+    )
+    parser.add_argument("trace_a", help="baseline trace (A)")
+    parser.add_argument("trace_b", help="candidate trace (B)")
+    parser.add_argument(
+        "--force", action="store_true",
+        help="diff even when the config fingerprints differ",
+    )
+    parser.add_argument(
+        "--top", type=int, default=15,
+        help="span names to show, largest |delta| first (default 15)",
+    )
+    parser.add_argument(
+        "--by-key", action="store_true",
+        help="show the top per-bucket/partition deltas under each row",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable diff here ('-' = stdout)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        a = load_trace(args.trace_a)
+        b = load_trace(args.trace_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        diff = diff_traces(a, b, force=args.force)
+    except FingerprintMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json == "-":
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(render_diff(diff, top=args.top, by_key=args.by_key))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(diff.to_dict(), fh, indent=2)
+                fh.write("\n")
+            print(f"diff written to {args.json}")
+    return 0

@@ -15,7 +15,15 @@ caller already holds (see CONCURRENCY.md).
 
 from __future__ import annotations
 
+import bisect
 import threading
+
+#: Default histogram bucket upper bounds: powers of two from 1 µs-ish
+#: to ~17 minutes.  Log-spaced so one fixed, bounded layout covers both
+#: sub-millisecond query batches and multi-minute training epochs with
+#: <= 2x relative quantile error per bucket; the exact min/max kept
+#: alongside pin the distribution's endpoints exactly.
+DEFAULT_BUCKET_BOUNDS = tuple(2.0**e for e in range(-20, 11))
 
 
 def metric_key(name: str, labels: "dict[str, object]") -> str:
@@ -34,9 +42,11 @@ class Counter:
         self._lock = threading.Lock()
         self._value = 0.0  # guarded-by: _lock
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0) -> float:
+        """Add ``amount``; returns the new value (handy for sampling)."""
         with self._lock:
             self._value += amount
+            return self._value
 
     @property
     def value(self) -> float:
@@ -71,20 +81,37 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/total/min/max) of observed values."""
+    """Streaming summary (count/total/min/max) plus bucketed quantiles.
 
-    def __init__(self, key: str):
+    Observations land in fixed log-spaced bounded buckets (``bounds``
+    are inclusive upper edges; one overflow bucket catches the rest),
+    so :meth:`quantile` answers p50/p95/p99 with bounded relative error
+    and O(num_buckets) memory — no per-observation storage, and the
+    ``observe`` hot path stays a bisect + two adds under the leaf lock.
+    """
+
+    def __init__(self, key: str, bounds: "tuple[float, ...] | None" = None):
         self.key = key
+        bounds = DEFAULT_BUCKET_BOUNDS if bounds is None else tuple(bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
         self._lock = threading.Lock()
         self._count = 0  # guarded-by: _lock
         self._total = 0.0  # guarded-by: _lock
         self._min = None  # guarded-by: _lock
         self._max = None  # guarded-by: _lock
+        # One count per bound + one overflow bucket.
+        self._buckets = [0] * (len(bounds) + 1)  # guarded-by: _lock
 
     def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.bounds, value)
         with self._lock:
             self._count += 1
             self._total += value
+            self._buckets[idx] += 1
             if self._min is None or value < self._min:
                 self._min = value
             if self._max is None or value > self._max:
@@ -104,6 +131,54 @@ class Histogram:
             "min": 0.0 if lo is None else float(lo),
             "max": 0.0 if hi is None else float(hi),
         }
+
+    def bucket_counts(self) -> "list[tuple[float, int]]":
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        The last pair's bound is ``inf`` and its count equals
+        ``count`` — the overflow bucket included.
+        """
+        with self._lock:
+            counts = list(self._buckets)
+        out = []
+        cum = 0
+        for bound, c in zip((*self.bounds, float("inf")), counts):
+            cum += c
+            out.append((bound, cum))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from buckets.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the exact observed ``[min, max]`` — so ``quantile(0)`` and
+        ``quantile(1)`` are exact, and the estimate is monotone in
+        ``q``.  Returns 0.0 with no observations.
+        """
+        with self._lock:
+            count = self._count
+            lo = self._min
+            hi = self._max
+            counts = list(self._buckets)
+        if not count:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        target = q * count
+        cum = 0
+        for i, c in enumerate(counts):
+            cum += c
+            if c and cum >= target:
+                lower = self.bounds[i - 1] if i > 0 else lo
+                upper = self.bounds[i] if i < len(self.bounds) else hi
+                frac = (target - (cum - c)) / c
+                est = lower + frac * (upper - lower)
+                return float(min(hi, max(lo, est)))
+        return float(hi)
+
+    def quantiles(
+        self, qs: "tuple[float, ...]" = (0.5, 0.95, 0.99)
+    ) -> "dict[float, float]":
+        return {q: self.quantile(q) for q in qs}
 
     @property
     def count(self) -> int:
@@ -150,6 +225,16 @@ class MetricsRegistry:  # public-guard: _lock
 
     def histogram(self, name, **labels):  # lint: no-lock (_get locks)
         return self._get(Histogram, name, labels)
+
+    def instruments(self) -> "list[tuple[str, object]]":
+        """Stable ``(key, instrument)`` list (the map, not the values).
+
+        Callers (e.g. the Prometheus renderer) read each instrument
+        through its own leaf lock afterwards; the registry lock is
+        released before any instrument is touched.
+        """
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def snapshot(self) -> "dict[str, object]":
         """Point-in-time value of every instrument, keyed canonically."""
